@@ -1,0 +1,38 @@
+/* Step-goal tracker: counts steps from the accelerometer and buzzes
+ * when the goal is reached.  Uses pointers freely -- which is exactly
+ * what the paper's isolation methods make safe to allow. */
+
+int goal = 200;
+int steps = 0;
+int reached = 0;
+int window[4];
+int above = 0;
+int t = 0;
+int last_step = 0;
+
+int magnitude_peak(int *buf, int n) {
+  int i;
+  int best = 0;
+  for (i = 0; i < n; i++)
+    if (buf[i] > best) best = buf[i];
+  return best;
+}
+
+void handle_init(int arg) { api_subscribe(0, 25); }
+
+void handle_accel(int arg) {
+  api_read_accel(window, 4);
+  t += 1;
+  int peak = magnitude_peak(window, 4);
+  if (!above && peak > 1250 && t - last_step > 8) {
+    steps += 1;
+    last_step = t;
+    above = 1;
+    if (!reached && steps >= goal) {
+      reached = 1;
+      api_buzz(500);
+      api_display_write("goal!", 0);
+    }
+  }
+  if (peak < 1100) above = 0;
+}
