@@ -1,0 +1,89 @@
+(* amulet_objdump: build a firmware from WearC sources and print the
+   disassembly of its sections — handy for inspecting exactly which
+   checks each isolation mode inserts. *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Apps = Amulet_apps.Suite
+
+let mode_conv =
+  let parse s =
+    match Iso.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected one of: none, amuletc, software, mpu")
+  in
+  Cmdliner.Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Iso.name m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let spec_of mode arg =
+  match List.find_opt (fun (a : Apps.app) -> a.Apps.name = arg) Apps.all with
+  | Some app -> Apps.spec_for mode app
+  | None ->
+    {
+      Aft.name = Filename.remove_extension (Filename.basename arg);
+      source = read_file arg;
+    }
+
+let dump_cmd mode os_too apps =
+  try
+    let specs = List.map (spec_of mode) apps in
+    let fw = Aft.build ~mode specs in
+    let machine = Amulet_mcu.Machine.create () in
+    Amulet_link.Image.load fw.Aft.fw_image machine;
+    let fetch a = Amulet_mcu.Machine.mem_checked_read machine Amulet_mcu.Word.W16 a in
+    let symbols = fw.Aft.fw_image.Amulet_link.Image.symbols in
+    let dump title lo hi =
+      Format.printf "@.; ---- %s (%04X..%04X) ----@." title lo hi;
+      Amulet_mcu.Disasm.pp_listing Format.std_formatter
+        (Amulet_mcu.Disasm.range ~symbols ~fetch ~lo ~hi ())
+    in
+    if os_too then
+      dump "os_code" fw.Aft.fw_layout.Amulet_aft.Layout.os_code_base
+        (fw.Aft.fw_layout.Amulet_aft.Layout.os_code_base
+        + fw.Aft.fw_layout.Amulet_aft.Layout.os_code_size);
+    List.iter
+      (fun (a : Amulet_aft.Layout.app_layout) ->
+        dump (a.Amulet_aft.Layout.name ^ " code") a.Amulet_aft.Layout.code_base
+          (a.Amulet_aft.Layout.code_base + a.Amulet_aft.Layout.code_size))
+      fw.Aft.fw_layout.Amulet_aft.Layout.apps;
+    0
+  with
+  | Amulet_cc.Srcloc.Error (loc, msg) ->
+    Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
+    1
+  | Aft.Build_error msg ->
+    Format.eprintf "build error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    1
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Iso.Mpu_assisted
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Isolation mode.")
+
+let os_arg =
+  Arg.(value & flag & info [ "os" ] ~doc:"Also disassemble the OS code section.")
+
+let apps_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"APP" ~doc:"Suite app name or WearC source path.")
+
+let cmd =
+  let doc = "disassemble a built firmware image" in
+  Cmd.v
+    (Cmd.info "amulet_objdump" ~doc)
+    Term.(const dump_cmd $ mode_arg $ os_arg $ apps_arg)
+
+let () = exit (Cmd.eval' cmd)

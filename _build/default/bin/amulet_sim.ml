@@ -1,0 +1,132 @@
+(* amulet_sim: build a firmware from WearC sources (or named suite
+   apps) and run it under the kernel model for a stretch of virtual
+   time, reporting dispatches, faults, display and log state. *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Os = Amulet_os
+module Apps = Amulet_apps.Suite
+
+let mode_conv =
+  let parse s =
+    match Iso.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected one of: none, amuletc, software, mpu")
+  in
+  Cmdliner.Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Iso.name m))
+
+let scenario_conv =
+  let parse = function
+    | "resting" -> Ok Os.Sensors.Resting
+    | "walking" -> Ok Os.Sensors.Walking
+    | "running" -> Ok Os.Sensors.Running
+    | "daily" -> Ok Os.Sensors.Daily_mix
+    | "fall" -> Ok (Os.Sensors.Fall_at 5_000)
+    | _ -> Error (`Msg "expected resting|walking|running|daily|fall")
+  in
+  Cmdliner.Arg.conv
+    ( parse,
+      fun ppf s ->
+        Format.fprintf ppf "%s"
+          (match s with
+          | Os.Sensors.Resting -> "resting"
+          | Os.Sensors.Walking -> "walking"
+          | Os.Sensors.Running -> "running"
+          | Os.Sensors.Daily_mix -> "daily"
+          | Os.Sensors.Fall_at _ -> "fall") )
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let spec_of mode arg =
+  match List.find_opt (fun (a : Apps.app) -> a.Apps.name = arg) Apps.all with
+  | Some app -> Apps.spec_for mode app
+  | None ->
+    {
+      Aft.name = Filename.remove_extension (Filename.basename arg);
+      source = read_file arg;
+    }
+
+let run_cmd mode scenario seconds apps =
+  try
+    let specs = List.map (spec_of mode) apps in
+    let fw = Aft.build ~mode specs in
+    let k = Os.Kernel.create ~scenario fw in
+    let records = Os.Kernel.run_for_ms k (seconds * 1000) in
+    Format.printf "mode %s, scenario driven for %d virtual seconds@."
+      (Iso.name mode) seconds;
+    Format.printf "%d events dispatched, %d total cycles@."
+      (List.length records)
+      (Amulet_mcu.Machine.cycles k.Os.Kernel.machine);
+    Array.iter
+      (fun (st : Os.Kernel.app_state) ->
+        Format.printf "@.app %-16s %s@." st.Os.Kernel.build.Aft.ab_name
+          (if st.Os.Kernel.enabled then "running" else "DISABLED");
+        (match st.Os.Kernel.last_fault with
+        | Some f -> Format.printf "  last fault: %s@." f
+        | None -> ());
+        Hashtbl.iter
+          (fun handler s ->
+            Format.printf "  %-18s %6d events, avg %5d cycles@." handler
+              s.Os.Kernel.hs_count
+              (s.Os.Kernel.hs_cycles / max 1 s.Os.Kernel.hs_count))
+          st.Os.Kernel.stats)
+      k.Os.Kernel.apps;
+    Format.printf "@.display:@.";
+    for i = 0 to 3 do
+      Format.printf "  |%-32s|@." (Os.Kernel.display_line k i)
+    done;
+    let log = Os.Kernel.log_contents k in
+    Format.printf "log: %d bytes@." (String.length log);
+    0
+  with
+  | Amulet_cc.Srcloc.Error (loc, msg) ->
+    Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
+    1
+  | Aft.Build_error msg ->
+    Format.eprintf "build error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    1
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Iso.Mpu_assisted
+    & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"Isolation mode.")
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt scenario_conv Os.Sensors.Walking
+    & info [ "w"; "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Sensor scenario: resting, walking, running, daily, fall.")
+
+let seconds_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "t"; "seconds" ] ~docv:"SECONDS"
+        ~doc:"Virtual seconds to simulate.")
+
+let apps_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"APP"
+        ~doc:
+          "Suite app name (e.g. $(b,pedometer)) or path to a WearC source \
+           file.")
+
+let cmd =
+  let doc = "run applications on the simulated Amulet platform" in
+  Cmd.v
+    (Cmd.info "amulet_sim" ~doc)
+    Term.(const run_cmd $ mode_arg $ scenario_arg $ seconds_arg $ apps_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,104 @@
+(* amuletc: compile WearC sources into a firmware image and report the
+   AFT analysis (layout, stack bounds, check counts). *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+
+let mode_conv =
+  let parse s =
+    match Iso.of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error (`Msg "expected one of: none, amuletc, software, mpu")
+  in
+  Cmdliner.Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Iso.name m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let app_name_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+      else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+      else '_')
+    base
+
+let compile_cmd mode paths symbols =
+  try
+    let specs =
+      List.map
+        (fun p -> { Aft.name = app_name_of_path p; source = read_file p })
+        paths
+    in
+    let fw = Aft.build ~mode specs in
+    Format.printf "isolation mode: %s@." (Iso.name mode);
+    Format.printf "@.memory layout:@.%a" Amulet_aft.Layout.pp fw.Aft.fw_layout;
+    List.iter
+      (fun ab ->
+        let cu = ab.Aft.ab_compiled in
+        Format.printf "@.app %s:@." ab.Aft.ab_name;
+        Format.printf "  handlers: %s@."
+          (String.concat ", " cu.Amulet_cc.Driver.handlers);
+        Format.printf "  stack bound: %d bytes%s@."
+          cu.Amulet_cc.Driver.stack_bytes
+          (if cu.Amulet_cc.Driver.recursive then
+             " (recursion: using the default reservation)"
+           else "");
+        List.iter
+          (fun fi ->
+            Format.printf
+              "  %-24s frame %3dB, %d checked / %d static accesses@."
+              fi.Amulet_cc.Codegen.fi_name fi.Amulet_cc.Codegen.fi_frame_bytes
+              fi.Amulet_cc.Codegen.fi_checked_sites
+              fi.Amulet_cc.Codegen.fi_static_sites)
+          cu.Amulet_cc.Driver.infos)
+      fw.Aft.fw_apps;
+    Format.printf "@.image: %d bytes in %d chunks@."
+      (Amulet_link.Image.total_bytes fw.Aft.fw_image)
+      (List.length fw.Aft.fw_image.Amulet_link.Image.chunks);
+    if symbols then begin
+      Format.printf "@.symbols:@.";
+      Amulet_link.Image.pp_symbols Format.std_formatter fw.Aft.fw_image
+    end;
+    0
+  with
+  | Amulet_cc.Srcloc.Error (loc, msg) ->
+    Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
+    1
+  | Aft.Build_error msg ->
+    Format.eprintf "build error: %s@." msg;
+    1
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    1
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Iso.Mpu_assisted
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Isolation mode: $(b,none), $(b,amuletc) (feature-limited), \
+           $(b,software), or $(b,mpu).")
+
+let files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.c")
+
+let symbols_arg =
+  Arg.(value & flag & info [ "s"; "symbols" ] ~doc:"Dump the symbol table.")
+
+let cmd =
+  let doc = "compile WearC applications into an Amulet firmware image" in
+  Cmd.v
+    (Cmd.info "amuletc" ~doc)
+    Term.(const compile_cmd $ mode_arg $ files_arg $ symbols_arg)
+
+let () = exit (Cmd.eval' cmd)

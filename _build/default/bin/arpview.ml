@@ -1,0 +1,91 @@
+(* arpview: the resource-profiler report — per-handler measured costs,
+   static check-site counts, weekly extrapolation and battery impact,
+   per isolation mode. *)
+
+module Iso = Amulet_cc.Isolation
+module Arp = Amulet_arp.Arp
+module Energy = Amulet_arp.Energy
+module Apps = Amulet_apps.Suite
+
+let profile_cmd app_name warmup =
+  match List.find_opt (fun a -> a.Apps.name = app_name) Apps.all with
+  | None ->
+    Format.eprintf "unknown app %s; known: %s@." app_name
+      (String.concat ", " (List.map (fun a -> a.Apps.name) Apps.all));
+    1
+  | Some app ->
+    let baseline =
+      Arp.profile_app ~warmup_ms:warmup ~mode:Iso.No_isolation app
+    in
+    Format.printf "ARP report for %s (%d ms warm-up)@." app.Apps.display_name
+      warmup;
+    List.iter
+      (fun mode ->
+        let p =
+          if mode = Iso.No_isolation then baseline
+          else Arp.profile_app ~warmup_ms:warmup ~mode app
+        in
+        Format.printf "@.[%s]@." (Iso.name mode);
+        List.iter
+          (fun h ->
+            Format.printf
+              "  %-20s %10.0f ev/week  %7.1f cyc/ev  %6.1f accesses  %4.1f \
+               API calls@."
+              h.Arp.hp_handler h.Arp.hp_events_per_week h.Arp.hp_cycles_per_event
+              h.Arp.hp_accesses_per_event h.Arp.hp_api_calls_per_event)
+          p.Arp.ap_handlers;
+        let overhead = Arp.overhead_cycles_per_week ~baseline p in
+        Format.printf
+          "  weekly: %.3f Gcycles total, %.3f Gcycles isolation overhead, \
+           %.4f %% battery@."
+          (p.Arp.ap_cycles_per_week /. 1e9)
+          (overhead /. 1e9)
+          (Energy.battery_impact_percent ~overhead_cycles_per_week:overhead);
+        (* ARP-view per-state accounting, when the app has a state machine *)
+        let fw2 = Amulet_aft.Aft.build ~mode [ Apps.spec_for mode app ] in
+        let k2 =
+          Amulet_os.Kernel.create ~scenario:Amulet_os.Sensors.Walking fw2
+        in
+        let _ = Amulet_os.Kernel.run_for_ms k2 20_000 in
+        let st = Amulet_os.Kernel.app_by_name k2 app.Apps.name in
+        (match Amulet_os.Kernel.state_profile st with
+        | [] -> ()
+        | states ->
+          Format.printf "  per-state accounting (ARP-view):@.";
+          List.iter
+            (fun ((state, handler), s) ->
+              Format.printf
+                "    state %d / %-16s %5d events, avg %5d cycles, %4d accesses@."
+                state handler s.Amulet_os.Kernel.hs_count
+                (s.Amulet_os.Kernel.hs_cycles / max 1 s.Amulet_os.Kernel.hs_count)
+                ((s.Amulet_os.Kernel.hs_reads + s.Amulet_os.Kernel.hs_writes)
+                / max 1 s.Amulet_os.Kernel.hs_count))
+            states);
+        Format.printf "  static check sites (AFT phase 1):@.";
+        List.iter
+          (fun s ->
+            Format.printf "    %-24s %3d checked, %3d static, %2d API@."
+              s.Arp.ss_function s.Arp.ss_checked s.Arp.ss_static
+              s.Arp.ss_api_calls)
+          (Arp.static_view ~mode app))
+      Iso.all;
+    0
+
+open Cmdliner
+
+let app_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"APP" ~doc:"Suite app name (e.g. $(b,pedometer)).")
+
+let warmup_arg =
+  Arg.(
+    value & opt int 90_000
+    & info [ "warmup" ] ~docv:"MS" ~doc:"Profiling warm-up in virtual ms.")
+
+let cmd =
+  let doc = "Amulet Resource Profiler report for one application" in
+  Cmd.v (Cmd.info "arpview" ~doc) Term.(const profile_cmd $ app_arg $ warmup_arg)
+
+let () = exit (Cmd.eval' cmd)

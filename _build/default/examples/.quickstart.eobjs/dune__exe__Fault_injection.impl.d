@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Amulet_aft Amulet_cc Amulet_os Format List String

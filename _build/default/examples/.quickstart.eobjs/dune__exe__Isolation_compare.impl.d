@@ -1,0 +1,1 @@
+examples/isolation_compare.ml: Amulet_aft Amulet_apps Amulet_arp Amulet_cc Array Format List Sys

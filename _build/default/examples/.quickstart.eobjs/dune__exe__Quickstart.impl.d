@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amulet_aft Amulet_cc Amulet_link Amulet_os Format List

@@ -1,0 +1,1 @@
+examples/wearable_suite.ml: Amulet_aft Amulet_apps Amulet_cc Amulet_link Amulet_mcu Amulet_os Array Buffer Format List Printf String

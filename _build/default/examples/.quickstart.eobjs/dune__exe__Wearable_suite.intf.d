@@ -1,0 +1,1 @@
+examples/wearable_suite.mli:

@@ -1,0 +1,69 @@
+(* Wearable suite: all nine Amulet applications in one firmware image,
+   living a (compressed) day on the wrist — the multi-tenant scenario
+   that motivates the paper.
+
+     dune exec examples/wearable_suite.exe *)
+
+module Aft = Amulet_aft.Aft
+module Os = Amulet_os
+module Apps = Amulet_apps.Suite
+module Iso = Amulet_cc.Isolation
+module M = Amulet_mcu.Machine
+module W = Amulet_mcu.Word
+
+let global k name sym =
+  let addr =
+    Amulet_link.Image.symbol k.Os.Kernel.fw.Aft.fw_image (name ^ "$" ^ sym)
+  in
+  W.to_signed W.W16 (M.mem_checked_read k.Os.Kernel.machine W.W16 addr)
+
+let () =
+  let mode = Iso.Mpu_assisted in
+  let specs = List.map (Apps.spec_for mode) Apps.platform_apps in
+  let fw = Aft.build ~mode specs in
+  Format.printf "nine apps, one image: %d bytes of firmware@."
+    (Amulet_link.Image.total_bytes fw.Aft.fw_image);
+  Format.printf "%a@." Amulet_aft.Layout.pp fw.Aft.fw_layout;
+
+  (* Daily_mix alternates rest / walk / run in 5-minute segments. *)
+  let k = Os.Kernel.create ~scenario:Os.Sensors.Daily_mix fw in
+  let minutes = 12 in
+  Format.printf "simulating %d minutes of wear...@." minutes;
+  let records = Os.Kernel.run_for_ms k (minutes * 60_000) in
+  Format.printf "%d events dispatched@.@." (List.length records);
+
+  Format.printf "%-16s %-9s %s@." "app" "state" "stats";
+  Array.iter
+    (fun (st : Os.Kernel.app_state) ->
+      let name = st.Os.Kernel.build.Aft.ab_name in
+      let extra =
+        match name with
+        | "pedometer" -> Printf.sprintf "steps = %d" (global k name "steps")
+        | "clock" ->
+          Printf.sprintf "time = %02d:%02d" (global k name "hours")
+            (global k name "minutes")
+        | "fall_detection" -> Printf.sprintf "falls = %d" (global k name "falls")
+        | "heart_rate" -> Printf.sprintf "bpm = %d" (global k name "bpm")
+        | "hr_log" -> Printf.sprintf "records = %d" (global k name "logged")
+        | "rest" ->
+          Printf.sprintf "rest minutes = %d" (global k name "rest_minutes")
+        | "sun" ->
+          Printf.sprintf "exposure = %d s" (global k name "exposure_sec")
+        | "temperature" ->
+          Printf.sprintf "range = %d..%d (tenths C)" (global k name "tmin")
+            (global k name "tmax")
+        | "battery_meter" -> Printf.sprintf "last = %d %%" (global k name "last_pct")
+        | _ -> ""
+      in
+      Format.printf "%-16s %-9s %s@." name
+        (if st.Os.Kernel.enabled then "running" else "DISABLED")
+        extra)
+    k.Os.Kernel.apps;
+
+  Format.printf "@.display:@.";
+  for i = 0 to 3 do
+    Format.printf "  |%-32s|@." (Os.Kernel.display_line k i)
+  done;
+  Format.printf "@.flash log: %d bytes; BLE out: %d bytes@."
+    (String.length (Os.Kernel.log_contents k))
+    (Buffer.length k.Os.Kernel.api.Os.Api.ble)

@@ -1,0 +1,1 @@
+lib/aft/aft.ml: Amulet_cc Amulet_link Format Layout List String Stubs

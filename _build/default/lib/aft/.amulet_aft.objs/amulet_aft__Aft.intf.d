@@ -1,0 +1,1 @@
+lib/aft/aft.mli: Amulet_cc Amulet_link Layout

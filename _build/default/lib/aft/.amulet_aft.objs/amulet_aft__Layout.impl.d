@@ -1,0 +1,1 @@
+lib/aft/layout.ml: Amulet_mcu Format List Printf

@@ -1,0 +1,1 @@
+lib/aft/layout.mli: Format

@@ -1,0 +1,1 @@
+lib/aft/stubs.ml: Amulet_cc Amulet_link Amulet_mcu Layout List

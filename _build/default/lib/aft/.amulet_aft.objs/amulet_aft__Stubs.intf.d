@@ -1,0 +1,1 @@
+lib/aft/stubs.mli: Amulet_cc Amulet_link Layout

@@ -1,0 +1,47 @@
+(** The Amulet Firmware Toolchain: compile a set of applications with
+    one isolation mode and link them with the OS support code into a
+    bootable firmware image.
+
+    The four phases of the paper map onto this pipeline as follows:
+    phase 1 (feature checks, access/API enumeration, call-graph
+    stack-depth analysis) and phase 2 (check insertion with
+    placeholder bounds) run inside {!Amulet_cc.Driver.compile}; phase
+    3 (section attributes, stack-manipulation stubs) is the section
+    assignment plus {!Stubs} generation here; phase 4 (final layout
+    and bound patching) is {!Layout.compute} plus link-time resolution
+    of the section start/end symbols the checks refer to. *)
+
+type app_spec = { name : string; source : string }
+
+type app_build = {
+  ab_name : string;
+  ab_compiled : Amulet_cc.Driver.compiled;
+  ab_layout : Layout.app_layout;
+  ab_handlers : (string * int) list;
+      (** [handle_*] function name -> linked address *)
+  ab_tramp : int;  (** trampoline address *)
+}
+
+type firmware = {
+  fw_mode : Amulet_cc.Isolation.mode;
+  fw_image : Amulet_link.Image.t;
+  fw_layout : Layout.t;
+  fw_apps : app_build list;
+}
+
+exception Build_error of string
+
+val build :
+  mode:Amulet_cc.Isolation.mode ->
+  ?shadow:bool ->
+  app_spec list ->
+  firmware
+(** [shadow] additionally arms the shadow return-address stack in
+    InfoMem (the paper's future-work hardening; works with any mode).
+    @raise Build_error on name clashes or layout overflow;
+    @raise Amulet_cc.Srcloc.Error on source-level errors. *)
+
+val find_app : firmware -> string -> app_build
+(** @raise Not_found *)
+
+val handler_addr : app_build -> string -> int option

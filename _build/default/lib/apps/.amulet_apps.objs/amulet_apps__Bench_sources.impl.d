@@ -1,0 +1,1 @@
+lib/apps/bench_sources.ml:

@@ -1,0 +1,1 @@
+lib/apps/extra_sources.ml:

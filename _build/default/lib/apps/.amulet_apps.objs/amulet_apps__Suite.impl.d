@@ -1,0 +1,1 @@
+lib/apps/suite.ml: Amulet_aft Amulet_cc App_sources Bench_sources Extra_sources List

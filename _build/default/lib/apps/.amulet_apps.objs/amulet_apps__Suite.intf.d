@@ -1,0 +1,1 @@
+lib/apps/suite.mli: Amulet_aft Amulet_cc

@@ -1,0 +1,297 @@
+(* The nine Amulet platform applications of the paper's Figure 2,
+   re-written in WearC.  They are deliberately written in the common
+   subset (arrays, no pointers, no recursion) so the same source
+   compiles under every isolation mode, exactly like the original
+   AmuletC apps; dynamic array indexing is what the modes then guard
+   differently.
+
+   Event rates (documented here, encoded in each app's subscriptions
+   and timers; used by the profiler to extrapolate to a week):
+
+     battery_meter   1-minute timer
+     clock           1-second timer
+     fall_detection  accelerometer at 25 Hz
+     heart_rate      PPG at 25 Hz + 5-second analysis timer
+     hr_log          10-second timer
+     pedometer       accelerometer at 25 Hz + 1-minute display timer
+     rest            accelerometer at 5 Hz + 1-minute classifier timer
+     sun             light at 1 Hz + 1-minute display timer
+     temperature     thermometer at 1 Hz + 30-second display timer *)
+
+let battery_meter =
+  {|
+int last_pct = 100;
+char msg[16];
+
+void put2(int v, int pos) {
+  msg[pos] = '0' + (v / 10) % 10;
+  msg[pos + 1] = '0' + v % 10;
+}
+
+void handle_init(int arg) {
+  api_set_timer(60000);
+  api_display_write("battery", 0);
+}
+
+void handle_timer(int arg) {
+  int pct = api_get_battery();
+  msg[0] = 'B'; msg[1] = 'a'; msg[2] = 't'; msg[3] = ' ';
+  put2(pct, 4);
+  msg[6] = '%'; msg[7] = 0;
+  api_display_write(msg, 1);
+  if (pct + 5 <= last_pct) {
+    api_log_append(msg, 8);
+    last_pct = pct;
+  }
+}
+|}
+
+let clock =
+  {|
+int seconds = 0;
+int minutes = 0;
+int hours = 0;
+char face[12];
+
+void put2(int v, int pos) {
+  face[pos] = '0' + v / 10;
+  face[pos + 1] = '0' + v % 10;
+}
+
+void handle_init(int arg) { api_set_timer(1000); }
+
+void handle_timer(int arg) {
+  seconds += 1;
+  if (seconds >= 60) {
+    seconds = 0;
+    minutes += 1;
+    if (minutes >= 60) {
+      minutes = 0;
+      hours += 1;
+      if (hours >= 24) hours = 0;
+    }
+    put2(hours, 0);
+    face[2] = ':';
+    put2(minutes, 3);
+    face[5] = 0;
+    api_display_write(face, 0);
+  }
+}
+|}
+
+let fall_detection =
+  {|
+int window[32];
+int widx = 0;
+int freefall_at = -1;
+int falls = 0;
+char alert[8];
+
+void handle_init(int arg) {
+  api_subscribe(0, 25);
+  alert[0] = 'F'; alert[1] = 'A'; alert[2] = 'L'; alert[3] = 'L';
+  alert[4] = 0;
+}
+
+void handle_accel(int arg) {
+  int mag[1];
+  api_read_accel(mag, 1);
+  int m = mag[0];
+  window[widx & 31] = m;
+  widx += 1;
+  if (m < 400) freefall_at = widx;
+  if (freefall_at >= 0 && widx - freefall_at < 15 && m > 2500) {
+    falls += 1;
+    api_display_write(alert, 0);
+    api_buzz(200);
+    api_log_append(alert, 4);
+    freefall_at = -1;
+  }
+}
+|}
+
+let heart_rate =
+  {|
+int buf[1];
+int window[64];
+int widx = 0;
+int bpm = 0;
+char disp[8];
+
+void handle_init(int arg) {
+  api_subscribe(1, 25);
+  api_set_timer(5000);
+}
+
+void handle_ppg(int arg) {
+  api_read_ppg(buf, 1);
+  window[widx & 63] = buf[0];
+  widx += 1;
+}
+
+void handle_timer(int arg) {
+  int i;
+  int mean = 0;
+  int crossings = 0;
+  int prev = 0;
+  for (i = 0; i < 64; i++) mean += window[i] >> 6;
+  for (i = 0; i < 64; i++) {
+    int above = window[i] > mean;
+    if (above && !prev) crossings += 1;
+    prev = above;
+  }
+  /* 64 samples at 25 Hz = 2.56 s: crossings * 23.4 per minute */
+  bpm = crossings * 23;
+  disp[0] = 'H'; disp[1] = 'R'; disp[2] = ' ';
+  disp[3] = '0' + (bpm / 100) % 10;
+  disp[4] = '0' + (bpm / 10) % 10;
+  disp[5] = '0' + bpm % 10;
+  disp[6] = 0;
+  api_display_write(disp, 1);
+}
+|}
+
+let hr_log =
+  {|
+char rec[4];
+int logged = 0;
+
+void handle_init(int arg) { api_set_timer(10000); }
+
+void handle_timer(int arg) {
+  int hr = api_read_heart_rate();
+  int tsec = api_get_time();
+  rec[0] = tsec & 0xFF;
+  rec[1] = (tsec >> 8) & 0xFF;
+  rec[2] = hr & 0xFF;
+  rec[3] = (hr >> 8) & 0xFF;
+  api_log_append(rec, 4);
+  logged += 1;
+}
+|}
+
+let pedometer =
+  {|
+int steps = 0;
+int above = 0;
+int last_step = 0;
+int t = 0;
+char disp[8];
+
+void handle_init(int arg) {
+  api_subscribe(0, 25);
+  api_set_timer(60000);
+}
+
+void handle_accel(int arg) {
+  int m[1];
+  api_read_accel(m, 1);
+  t += 1;
+  if (!above && m[0] > 1250 && t - last_step > 8) {
+    steps += 1;
+    last_step = t;
+    above = 1;
+  }
+  if (m[0] < 1100) above = 0;
+}
+
+void handle_timer(int arg) {
+  int s = steps;
+  int i;
+  for (i = 5; i >= 1; i--) {
+    disp[i] = '0' + s % 10;
+    s = s / 10;
+  }
+  disp[0] = 'S';
+  disp[6] = 0;
+  api_display_write(disp, 0);
+}
+|}
+
+let rest =
+  {|
+int activity = 0;
+int rest_minutes = 0;
+int samples = 0;
+
+void handle_init(int arg) {
+  api_subscribe(0, 5);
+  api_set_timer(60000);
+}
+
+void handle_accel(int arg) {
+  int m[1];
+  api_read_accel(m, 1);
+  int d = m[0] - 1000;
+  if (d < 0) d = -d;
+  activity += d >> 4;
+  samples += 1;
+}
+
+void handle_timer(int arg) {
+  if (samples > 0 && activity / samples < 8) rest_minutes += 1;
+  activity = 0;
+  samples = 0;
+}
+|}
+
+let sun =
+  {|
+int exposure_sec = 0;
+char disp[10];
+
+void handle_init(int arg) {
+  api_subscribe(3, 1);
+  api_set_timer(60000);
+}
+
+void handle_light(int arg) {
+  int lux = api_read_light();
+  if (lux > 500) exposure_sec += 1;
+}
+
+void handle_timer(int arg) {
+  int minutes = exposure_sec / 60;
+  disp[0] = 'S'; disp[1] = 'u'; disp[2] = 'n'; disp[3] = ' ';
+  disp[4] = '0' + (minutes / 100) % 10;
+  disp[5] = '0' + (minutes / 10) % 10;
+  disp[6] = '0' + minutes % 10;
+  disp[7] = 0;
+  api_display_write(disp, 2);
+}
+|}
+
+let temperature =
+  {|
+int hist[16];
+int hidx = 0;
+int tmin = 9999;
+int tmax = -9999;
+char disp[12];
+
+void handle_init(int arg) {
+  api_subscribe(2, 1);
+  api_set_timer(30000);
+}
+
+void handle_temperature(int arg) {
+  int tc = api_read_temperature();
+  hist[hidx & 15] = tc;
+  hidx += 1;
+  if (tc < tmin) tmin = tc;
+  if (tc > tmax) tmax = tc;
+}
+
+void handle_timer(int arg) {
+  int i;
+  int avg = 0;
+  for (i = 0; i < 16; i++) avg += hist[i] >> 4;
+  disp[0] = 'T'; disp[1] = ' ';
+  disp[2] = '0' + (avg / 100) % 10;
+  disp[3] = '0' + (avg / 10) % 10;
+  disp[4] = '.';
+  disp[5] = '0' + avg % 10;
+  disp[6] = 0;
+  api_display_write(disp, 3);
+}
+|}

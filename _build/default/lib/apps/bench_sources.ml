@@ -1,0 +1,229 @@
+(* The paper's Section-4.2 benchmark applications.
+
+   Each exposes [handle_button(arg)] so the experiment harness can
+   trigger a measured run directly (the paper ran each 200 times and
+   timed with the hardware timer; our harness reads the dispatch cycle
+   counts, which come from the same simulated clock).
+
+   - synthetic: arg 0 = empty baseline, arg 1 = memory-access loop,
+     arg 2 = context-switch (api_null) loop;
+   - activity: arg 1 = Activity Case 1 (window statistics),
+     arg 2 = Activity Case 2 (FIR filter + energy classification);
+   - quicksort: recursion and heavy memory traffic, no API calls.
+     The feature-limited variant replaces recursion with an explicit
+     segment stack, as AmuletC programmers must. *)
+
+(* Memory-access iterations; 2 guarded accesses each. *)
+let synthetic_mem_iters = 128
+let synthetic_mem_accesses = 2 * synthetic_mem_iters
+let synthetic_api_calls = 32
+
+let synthetic =
+  {|
+int sink[32];
+int result = 0;
+
+void handle_init(int arg) { result = 0; }
+
+void handle_button(int arg) {
+  int i;
+  int acc = 0;
+  if (arg == 1) {
+    for (i = 0; i < 128; i++) {
+      sink[i & 31] = i;
+      acc += sink[(i + 7) & 31];
+    }
+    result = acc;
+  }
+  if (arg == 2) {
+    for (i = 0; i < 32; i++) api_null();
+    result = i;
+  }
+}
+|}
+
+let window_size = 64
+
+(* Call-dense microbenchmark for the shadow-stack ablation: 64 leaf
+   calls per button event, no other work. *)
+let call_count = 64
+
+let callheavy =
+  {|
+int sink = 0;
+
+int leaf(int x) { return x + 1; }
+
+void handle_init(int arg) { sink = 0; }
+
+void handle_button(int arg) {
+  int i;
+  int s = 0;
+  for (i = 0; i < 64; i++) s = leaf(s);
+  sink = s;
+}
+|}
+
+let activity =
+  {|
+int win[64];
+int filt[64];
+int features[8];
+int cls = 0;
+
+void handle_init(int arg) { cls = 0; }
+
+void load_window() { api_read_accel(win, 64); }
+
+void case1() {
+  int i;
+  int mean = 0;
+  int vmin = 32767;
+  int vmax = -32768;
+  for (i = 0; i < 64; i++) {
+    int v = win[i];
+    mean += v >> 6;
+    if (v < vmin) vmin = v;
+    if (v > vmax) vmax = v;
+  }
+  int var = 0;
+  for (i = 0; i < 64; i++) {
+    int d = (win[i] - mean) >> 3;
+    var += (d * d) >> 6;
+  }
+  features[0] = mean;
+  features[1] = var;
+  features[2] = vmin;
+  features[3] = vmax;
+}
+
+void case2() {
+  int i;
+  int j;
+  for (i = 0; i < 64; i++) {
+    int acc = 0;
+    for (j = 0; j < 8; j++) {
+      int k = i - j;
+      if (k < 0) k = 0;
+      acc += win[k] >> 3;
+    }
+    filt[i] = acc;
+  }
+  int energy = 0;
+  for (i = 0; i < 64; i++) {
+    int d = (filt[i] - 1000) >> 4;
+    energy += (d * d) >> 6;
+  }
+  features[4] = energy;
+  cls = energy > 50;
+}
+
+void handle_button(int arg) {
+  if (arg == 1) { load_window(); case1(); }
+  if (arg == 2) { load_window(); case2(); }
+}
+|}
+
+let quicksort_elems = 64
+
+(* Shared scaffolding for both quicksort variants. *)
+let quicksort_common =
+  {|
+int data[64];
+int sorted_ok = 0;
+int seed = 12345;
+
+int next_rand() {
+  seed = seed * 25173 + 13849;
+  return seed & 0x7FFF;
+}
+
+void fill() {
+  int i;
+  for (i = 0; i < 64; i++) data[i] = next_rand();
+}
+
+void verify() {
+  int i;
+  sorted_ok = 1;
+  for (i = 1; i < 64; i++)
+    if (data[i - 1] > data[i]) sorted_ok = 0;
+}
+
+void handle_init(int arg) { sorted_ok = 0; }
+|}
+
+let quicksort =
+  quicksort_common
+  ^ {|
+void qsort_range(int lo, int hi) {
+  if (lo >= hi) return;
+  int pivot = data[(lo + hi) / 2];
+  int i = lo;
+  int j = hi;
+  while (i <= j) {
+    while (data[i] < pivot) i += 1;
+    while (data[j] > pivot) j -= 1;
+    if (i <= j) {
+      int tmp = data[i];
+      data[i] = data[j];
+      data[j] = tmp;
+      i += 1;
+      j -= 1;
+    }
+  }
+  qsort_range(lo, j);
+  qsort_range(i, hi);
+}
+
+void handle_button(int arg) {
+  seed = 12345;
+  fill();
+  qsort_range(0, 63);
+  verify();
+}
+|}
+
+(* Recursion-free version for the feature-limited (AmuletC) mode:
+   explicit stack of pending (lo, hi) segments. *)
+let quicksort_feature_limited =
+  quicksort_common
+  ^ {|
+int seg_lo[32];
+int seg_hi[32];
+
+void qsort_iter() {
+  int sp = 1;
+  seg_lo[0] = 0;
+  seg_hi[0] = 63;
+  while (sp > 0) {
+    sp -= 1;
+    int lo = seg_lo[sp];
+    int hi = seg_hi[sp];
+    if (lo >= hi) continue;
+    int pivot = data[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+      while (data[i] < pivot) i += 1;
+      while (data[j] > pivot) j -= 1;
+      if (i <= j) {
+        int tmp = data[i];
+        data[i] = data[j];
+        data[j] = tmp;
+        i += 1;
+        j -= 1;
+      }
+    }
+    if (sp < 31) { seg_lo[sp] = lo; seg_hi[sp] = j; sp += 1; }
+    if (sp < 31) { seg_lo[sp] = i; seg_hi[sp] = hi; sp += 1; }
+  }
+}
+
+void handle_button(int arg) {
+  seed = 12345;
+  fill();
+  qsort_iter();
+  verify();
+}
+|}

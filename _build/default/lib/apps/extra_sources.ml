@@ -1,0 +1,137 @@
+(* Extension applications beyond the paper's nine: the two deployed
+   studies its introduction cites — StressAware (Boateng & Kotz, URTC
+   2017) and ActivityAware (Boateng, TR2017-824) — plus a medication
+   reminder in the EMA style such wearables run.  They exercise the
+   same API surface and compile under every isolation mode. *)
+
+let stress_aware =
+  {|
+/* StressAware: heart-rate-variability based stress score, sampled
+   every 2 seconds over a 16-entry inter-beat window. */
+int rr[16];
+int widx = 0;
+int stress = 0;
+char disp[12];
+
+void handle_init(int arg) { api_set_timer(2000); }
+
+void handle_timer(int arg) {
+  int hr = api_read_heart_rate();
+  if (hr < 30) hr = 30;
+  /* approximate inter-beat interval in centi-units */
+  rr[widx & 15] = 6000 / hr;
+  widx += 1;
+  if (widx >= 16) {
+    /* HRV: mean absolute successive difference (RMSSD-like) */
+    int i;
+    int hrv = 0;
+    for (i = 1; i < 16; i++) {
+      int d = rr[i] - rr[i - 1];
+      if (d < 0) d = -d;
+      hrv += d;
+    }
+    hrv = hrv / 15;
+    /* elevated heart rate and suppressed variability read as stress */
+    int s = (hr - 60) + (12 - hrv) * 2;
+    if (s < 0) s = 0;
+    if (s > 100) s = 100;
+    stress = s;
+    disp[0] = 'S'; disp[1] = 't'; disp[2] = 'r'; disp[3] = ' ';
+    disp[4] = '0' + (stress / 100) % 10;
+    disp[5] = '0' + (stress / 10) % 10;
+    disp[6] = '0' + stress % 10;
+    disp[7] = 0;
+    api_display_write(disp, 1);
+  }
+}
+|}
+
+let activity_aware =
+  {|
+/* ActivityAware: classify rest / walking / running from mean
+   accelerometer deviation over 4-second windows. */
+int energy = 0;
+int samples = 0;
+int cls = 0;
+int hist[3];
+char lbl_rest[6];
+char lbl_walk[6];
+char lbl_run[5];
+
+void handle_init(int arg) {
+  api_subscribe(0, 10);
+  api_set_timer(4000);
+  lbl_rest[0]='r'; lbl_rest[1]='e'; lbl_rest[2]='s'; lbl_rest[3]='t'; lbl_rest[4]=0;
+  lbl_walk[0]='w'; lbl_walk[1]='a'; lbl_walk[2]='l'; lbl_walk[3]='k'; lbl_walk[4]=0;
+  lbl_run[0]='r'; lbl_run[1]='u'; lbl_run[2]='n'; lbl_run[3]=0;
+}
+
+void handle_accel(int arg) {
+  int m[1];
+  api_read_accel(m, 1);
+  int d = m[0] - 1000;
+  if (d < 0) d = -d;
+  energy += d >> 4;
+  samples += 1;
+}
+
+void handle_timer(int arg) {
+  if (samples > 0) {
+    int e = energy / samples;
+    cls = 0;
+    if (e > 5) cls = 1;
+    if (e > 22) cls = 2;
+    hist[cls] += 1;
+    if (cls == 0) api_display_write(lbl_rest, 3);
+    if (cls == 1) api_display_write(lbl_walk, 3);
+    if (cls == 2) api_display_write(lbl_run, 3);
+  }
+  energy = 0;
+  samples = 0;
+}
+|}
+
+let med_reminder =
+  {|
+/* Medication reminder (EMA style): buzz on a schedule; a button press
+   within the acknowledgement window counts as taken, otherwise the
+   dose is logged as missed. */
+int pending = 0;
+int taken = 0;
+int missed = 0;
+int window_left = 0;
+char rec[2];
+
+void handle_init(int arg) { api_set_timer(30000); }
+
+void handle_timer(int arg) {
+  if (pending) {
+    window_left -= 1;
+    if (window_left <= 0) {
+      missed += 1;
+      pending = 0;
+      rec[0] = 'M';
+      rec[1] = 0;
+      api_log_append(rec, 1);
+    }
+  }
+  if (!pending) {
+    /* next reminder cycle */
+    pending = 1;
+    window_left = 2; /* two timer periods to acknowledge */
+    api_buzz(300);
+    api_display_write("take meds", 0);
+  }
+}
+
+void handle_button(int arg) {
+  if (pending) {
+    taken += 1;
+    pending = 0;
+    rec[0] = 'T';
+    rec[1] = 0;
+    api_log_append(rec, 1);
+    api_display_write("thanks", 0);
+  }
+}
+|}

@@ -1,0 +1,54 @@
+type app = {
+  name : string;
+  display_name : string;
+  source : string;
+  source_feature_limited : string option;
+}
+
+let simple name display_name source =
+  { name; display_name; source; source_feature_limited = None }
+
+let platform_apps =
+  [
+    simple "battery_meter" "BatteryMeter" App_sources.battery_meter;
+    simple "clock" "Clock" App_sources.clock;
+    simple "fall_detection" "FallDetection" App_sources.fall_detection;
+    simple "heart_rate" "HR" App_sources.heart_rate;
+    simple "hr_log" "HR Log" App_sources.hr_log;
+    simple "pedometer" "Pedometer" App_sources.pedometer;
+    simple "rest" "Rest" App_sources.rest;
+    simple "sun" "Sun" App_sources.sun;
+    simple "temperature" "Temperature" App_sources.temperature;
+  ]
+
+let synthetic = simple "synthetic" "Synthetic" Bench_sources.synthetic
+let callheavy = simple "callheavy" "CallHeavy" Bench_sources.callheavy
+let activity = simple "activity" "Activity" Bench_sources.activity
+
+let quicksort =
+  {
+    name = "quicksort";
+    display_name = "Quicksort";
+    source = Bench_sources.quicksort;
+    source_feature_limited = Some Bench_sources.quicksort_feature_limited;
+  }
+
+let benchmark_apps = [ synthetic; activity; quicksort; callheavy ]
+
+let extension_apps =
+  [
+    simple "stress_aware" "StressAware" Extra_sources.stress_aware;
+    simple "activity_aware" "ActivityAware" Extra_sources.activity_aware;
+    simple "med_reminder" "MedReminder" Extra_sources.med_reminder;
+  ]
+
+let all = platform_apps @ benchmark_apps @ extension_apps
+let find name = List.find (fun a -> a.name = name) all
+
+let spec_for mode app =
+  let source =
+    match (mode, app.source_feature_limited) with
+    | Amulet_cc.Isolation.Feature_limited, Some fl -> fl
+    | _ -> app.source
+  in
+  { Amulet_aft.Aft.name = app.name; source }

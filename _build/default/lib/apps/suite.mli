@@ -1,0 +1,35 @@
+(** The application suite: the nine Amulet platform apps evaluated in
+    the paper's Figure 2, and the three Section-4.2 benchmark apps. *)
+
+type app = {
+  name : string;  (** AFT app name (symbol-safe) *)
+  display_name : string;  (** as printed in the paper's figures *)
+  source : string;
+  source_feature_limited : string option;
+      (** substitute source for the feature-limited mode when the
+          default uses recursion or pointers (quicksort) *)
+}
+
+val platform_apps : app list
+(** BatteryMeter, Clock, FallDetection, HR, HR Log, Pedometer, Rest,
+    Sun, Temperature — in the paper's order. *)
+
+val synthetic : app
+val callheavy : app
+val activity : app
+val quicksort : app
+val benchmark_apps : app list
+
+val extension_apps : app list
+(** Beyond the paper: StressAware and ActivityAware (the deployed
+    studies its introduction cites) and an EMA-style medication
+    reminder. *)
+
+val all : app list
+
+val find : string -> app
+(** Look up by [name]. @raise Not_found *)
+
+val spec_for :
+  Amulet_cc.Isolation.mode -> app -> Amulet_aft.Aft.app_spec
+(** The AFT input, choosing the feature-limited variant when needed. *)

@@ -1,0 +1,1 @@
+lib/arp/arp.ml: Amulet_aft Amulet_apps Amulet_cc Amulet_os List Printf

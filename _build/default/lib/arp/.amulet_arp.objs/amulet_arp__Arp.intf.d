@@ -1,0 +1,1 @@
+lib/arp/arp.mli: Amulet_apps Amulet_cc Amulet_os

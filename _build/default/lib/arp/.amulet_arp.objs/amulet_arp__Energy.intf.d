@@ -1,0 +1,1 @@
+lib/arp/energy.mli:

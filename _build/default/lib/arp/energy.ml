@@ -1,0 +1,15 @@
+let clock_hz = 16.0e6
+
+(* MSP430FR5969: ~100 uA/MHz at 3.0 V -> 1.6 mA at 16 MHz. *)
+let active_watts = 1.6e-3 *. 3.0
+let joules_per_cycle = active_watts /. clock_hz
+
+(* 110 mAh lithium coin cell at 3.0 V. *)
+let battery_joules = 0.110 *. 3.0 *. 3600.0
+let baseline_lifetime_weeks = 2.0
+let weekly_energy_budget_joules = battery_joules /. baseline_lifetime_weeks
+let overhead_joules ~cycles = cycles *. joules_per_cycle
+
+let battery_impact_percent ~overhead_cycles_per_week =
+  overhead_joules ~cycles:overhead_cycles_per_week
+  /. weekly_energy_budget_joules *. 100.0

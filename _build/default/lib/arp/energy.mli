@@ -1,0 +1,23 @@
+(** Energy and battery model used to convert isolation-overhead cycles
+    into battery-lifetime impact (paper Fig. 2, right axis).
+
+    Parameters follow the MSP430FR5969 datasheet and the Amulet
+    hardware: ~100 uA/MHz active current at 3.0 V and 16 MHz gives
+    about 0.9 mW, i.e. ~56 pJ per cycle; the Amulet battery is a
+    110 mAh lithium cell (~1188 J) and the platform targets a
+    two-week lifetime. *)
+
+val clock_hz : float
+val active_watts : float
+val joules_per_cycle : float
+val battery_joules : float
+val baseline_lifetime_weeks : float
+
+val weekly_energy_budget_joules : float
+(** Energy spent per week at the baseline lifetime. *)
+
+val overhead_joules : cycles:float -> float
+
+val battery_impact_percent : overhead_cycles_per_week:float -> float
+(** Share of the weekly energy budget consumed by isolation overhead,
+    as a percentage (the paper reports < 0.5 % for all apps). *)

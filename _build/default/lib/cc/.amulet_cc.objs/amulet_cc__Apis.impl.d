@@ -1,0 +1,1 @@
+lib/cc/apis.ml: Ctype List

@@ -1,0 +1,1 @@
+lib/cc/apis.mli: Ctype

@@ -1,0 +1,1 @@
+lib/cc/codegen.ml: Amulet_link Amulet_mcu Ast Char Ctype Hashtbl Isolation List Option Printf Srcloc String Tast

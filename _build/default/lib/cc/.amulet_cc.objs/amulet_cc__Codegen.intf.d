@@ -1,0 +1,1 @@
+lib/cc/codegen.mli: Amulet_link Isolation Tast

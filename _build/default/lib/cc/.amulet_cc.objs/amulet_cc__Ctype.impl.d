@@ -1,0 +1,1 @@
+lib/cc/ctype.ml: Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cc/ctype.mli: Format

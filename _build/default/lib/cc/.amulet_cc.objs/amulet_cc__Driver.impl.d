@@ -1,0 +1,1 @@
+lib/cc/driver.ml: Amulet_link Apis Codegen Feature_check Isolation List Parser Runtime Stack_depth Typecheck

@@ -1,0 +1,1 @@
+lib/cc/driver.mli: Amulet_link Codegen Ctype Isolation

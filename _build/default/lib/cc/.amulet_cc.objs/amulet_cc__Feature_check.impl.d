@@ -1,0 +1,1 @@
+lib/cc/feature_check.ml: Ast Ctype Hashtbl Isolation List Option Printf Srcloc String

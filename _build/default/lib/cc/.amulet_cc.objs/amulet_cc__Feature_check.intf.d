@@ -1,0 +1,1 @@
+lib/cc/feature_check.mli: Ast Isolation

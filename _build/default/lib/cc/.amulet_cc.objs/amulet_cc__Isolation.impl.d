@@ -1,0 +1,1 @@
+lib/cc/isolation.ml: Printf

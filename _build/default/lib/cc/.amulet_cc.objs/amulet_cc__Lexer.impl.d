@@ -1,0 +1,1 @@
+lib/cc/lexer.ml: Buffer Char List Srcloc String Token

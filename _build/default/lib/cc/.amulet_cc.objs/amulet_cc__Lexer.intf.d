@@ -1,0 +1,1 @@
+lib/cc/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/cc/parser.ml: Array Ast Ctype Lexer List Srcloc String Token

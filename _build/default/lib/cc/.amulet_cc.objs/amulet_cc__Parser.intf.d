@@ -1,0 +1,1 @@
+lib/cc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/cc/runtime.ml: Amulet_link Amulet_mcu Ctype Isolation

@@ -1,0 +1,1 @@
+lib/cc/runtime.mli: Amulet_link Ctype

@@ -1,0 +1,1 @@
+lib/cc/srcloc.ml: Format

@@ -1,0 +1,1 @@
+lib/cc/stack_depth.ml: Codegen Hashtbl List

@@ -1,0 +1,1 @@
+lib/cc/stack_depth.mli: Codegen

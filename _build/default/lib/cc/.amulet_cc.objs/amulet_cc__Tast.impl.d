@@ -1,0 +1,1 @@
+lib/cc/tast.ml: Ast Ctype Srcloc

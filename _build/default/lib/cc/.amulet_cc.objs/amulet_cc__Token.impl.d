@@ -1,0 +1,1 @@
+lib/cc/token.ml: Char Printf Srcloc

@@ -1,0 +1,1 @@
+lib/cc/token.mli: Srcloc

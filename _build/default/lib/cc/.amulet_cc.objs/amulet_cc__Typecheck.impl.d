@@ -1,0 +1,1 @@
+lib/cc/typecheck.ml: Ast Ctype Hashtbl List Option Printf Srcloc String Tast

@@ -1,0 +1,1 @@
+lib/cc/typecheck.mli: Ast Ctype Tast

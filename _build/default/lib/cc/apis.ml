@@ -1,0 +1,44 @@
+open Ctype
+
+let fn ret args = Func (ret, args)
+
+let signatures =
+  [
+    (* benchmarking no-op: measures pure context-switch cost *)
+    ("api_null", fn Void []);
+    (* time and power *)
+    ("api_get_time", fn Uint []);
+    ("api_get_battery", fn Int []);
+    (* sensors *)
+    ("api_read_accel", fn Int [ Ptr Int; Int ]);
+    ("api_read_accel_xyz", fn Int [ Ptr Int ]);
+    ("api_read_heart_rate", fn Int []);
+    ("api_read_ppg", fn Int [ Ptr Int; Int ]);
+    ("api_read_temperature", fn Int []);
+    ("api_read_light", fn Int []);
+    (* display and UI *)
+    ("api_display_write", fn Void [ Ptr Char; Int ]);
+    ("api_display_clear", fn Void []);
+    ("api_button_state", fn Int []);
+    ("api_led", fn Void [ Int ]);
+    ("api_buzz", fn Void [ Int ]);
+    (* storage and radio *)
+    ("api_log_append", fn Int [ Ptr Char; Int ]);
+    ("api_send_ble", fn Int [ Ptr Char; Int ]);
+    (* timers and subscriptions *)
+    ("api_set_timer", fn Int [ Int ]);
+    ("api_cancel_timer", fn Void [ Int ]);
+    ("api_subscribe", fn Int [ Int; Int ]);
+    ("api_unsubscribe", fn Void [ Int ]);
+    (* misc *)
+    ("api_rand", fn Uint []);
+  ]
+
+let names = List.map fst signatures
+let exists name = List.mem_assoc name signatures
+let gate_label name = "__gate_" ^ name
+
+let arg_count name =
+  match List.assoc name signatures with
+  | Func (_, args) -> List.length args
+  | _ -> assert false

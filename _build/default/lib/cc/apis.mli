@@ -1,0 +1,23 @@
+(** The AmuletOS system API, as seen by application code.
+
+    Applications call these as ordinary C functions (up to three
+    scalar/pointer arguments); the compiler routes each call through
+    the AFT-generated context-switch gate ([__gate_<name>]).  The OS
+    model in [amulet_os] implements the matching services and
+    validates every application-supplied pointer against the calling
+    app's data bounds before touching memory — the paper's "carefully
+    handle application-provided pointers passed through API calls". *)
+
+val signatures : (string * Ctype.t) list
+(** [(name, function type)] for every API entry point. *)
+
+val names : string list
+
+val exists : string -> bool
+
+val gate_label : string -> string
+(** Linker symbol of the gate stub for an API name. *)
+
+val arg_count : string -> int
+(** Number of declared parameters.
+    @raise Not_found for unknown names. *)

@@ -1,0 +1,84 @@
+(* Untyped abstract syntax of WearC, produced by the parser.  Types in
+   declarations are already resolved to Ctype.t (the grammar needs no
+   context to parse declarators). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Gt | Le | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type expr = { e : expr_node; eloc : Srcloc.t }
+
+and expr_node =
+  | Num of int
+  | Str of string
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr
+  | Op_assign of binop * expr * expr
+  | Cond of expr * expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addr of expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Pre_incr of expr
+  | Pre_decr of expr
+  | Post_incr of expr
+  | Post_decr of expr
+  | Sizeof_type of Ctype.t
+  | Sizeof_expr of expr
+  | Cast of Ctype.t * expr
+
+type stmt = { s : stmt_node; sloc : Srcloc.t }
+
+and stmt_node =
+  | Sexpr of expr
+  | Sdecl of Ctype.t * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo_while of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+      (* init (expr or decl), condition, step, body *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * (int * stmt list) list * stmt list option
+      (* cases, default *)
+  | Sblock of stmt list
+
+and init = Iexpr of expr | Ilist of expr list | Istr of string
+
+type func = {
+  fname : string;
+  fret : Ctype.t;
+  fparams : (string * Ctype.t) list;
+  fbody : stmt list;
+  floc : Srcloc.t;
+}
+
+type global = {
+  gname : string;
+  gtype : Ctype.t;
+  ginit : init option;
+  gconst : bool;
+  gloc : Srcloc.t;
+}
+
+type decl =
+  | Dglobal of global
+  | Dfunc of func
+  | Dstruct of string * (string * Ctype.t) list * Srcloc.t
+
+type program = decl list
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Land -> "&&" | Lor -> "||"

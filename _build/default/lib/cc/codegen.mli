@@ -1,0 +1,52 @@
+(** Code generator: typed AST to MSP430-like assembly, inserting the
+    memory-isolation checks demanded by the selected mode.
+
+    Check placement follows the paper exactly:
+
+    - every dereference of a {e computed} address (pointer deref,
+      dynamically-indexed array, [->], function-pointer call) is
+      guarded; named variables, struct fields of named variables and
+      constant-index array accesses are verified statically and get no
+      run-time check;
+    - [Software_only]: lower and upper bound compare-against-constant;
+    - [Mpu_assisted]: lower bound only (the MPU catches the rest);
+    - [Feature_limited]: array-index check via the [__bounds_check]
+      runtime helper (the original Amulet scheme);
+    - [Software_only] and [Mpu_assisted] also bounds-check the return
+      address before every RET.
+
+    The bound "constants" are the linker's section start/end symbols,
+    resolved in AFT phase 4. *)
+
+(** Per-function facts for the call-graph, stack-depth analysis and
+    the resource profiler. *)
+type fn_info = {
+  fi_name : string;  (** unmangled *)
+  fi_frame_bytes : int;  (** locals area *)
+  fi_saved_regs : int;  (** callee-saved registers pushed *)
+  fi_calls : string list;  (** direct in-unit callees *)
+  fi_api_calls : string list;  (** OS API gates invoked *)
+  fi_checked_sites : int;  (** dereference sites given run-time checks *)
+  fi_static_sites : int;  (** accesses discharged at compile time *)
+  fi_fnptr_calls : int;
+}
+
+type output = {
+  code : Amulet_link.Asm.item list;
+  data : Amulet_link.Asm.item list;
+  infos : fn_info list;
+  handlers : string list;  (** functions named [handle_*] (event entry points) *)
+}
+
+val gen_program :
+  prefix:string ->
+  mode:Isolation.mode ->
+  ?shadow:bool ->
+  Tast.program ->
+  output
+(** [shadow] enables the shadow return-address stack (an optional
+    hardening on top of any mode): prologues copy the return address
+    into the InfoMem shadow stack, epilogues compare and fault on
+    mismatch, replacing the plain bounds check on the return slot.
+    @raise Srcloc.Error on constructs the backend cannot compile
+    (non-constant global initializers, struct assignment, ...). *)

@@ -1,0 +1,95 @@
+type t =
+  | Void
+  | Int
+  | Uint
+  | Char
+  | Ptr of t
+  | Array of t * int
+  | Struct of string
+  | Func of t * t list
+
+type field = { fname : string; ftype : t; foffset : int }
+
+type env = {
+  structs : (string, field list * int) Hashtbl.t;
+      (* name -> fields with offsets, total size *)
+}
+
+let create_env () = { structs = Hashtbl.create 16 }
+
+let rec alignment env = function
+  | Char -> 1
+  | Int | Uint | Ptr _ -> 2
+  | Array (t, _) -> alignment env t
+  | Struct _ -> 2
+  | Void | Func _ -> invalid_arg "Ctype.alignment"
+
+and sizeof env = function
+  | Int | Uint | Ptr _ -> 2
+  | Char -> 1
+  | Array (t, n) -> n * sizeof env t
+  | Struct name -> (
+    match Hashtbl.find_opt env.structs name with
+    | Some (_, size) -> size
+    | None -> invalid_arg ("Ctype.sizeof: undefined struct " ^ name))
+  | Void | Func _ -> invalid_arg "Ctype.sizeof"
+
+let define_struct env name fields =
+  if Hashtbl.mem env.structs name then
+    invalid_arg ("struct redefinition: " ^ name);
+  let offset = ref 0 in
+  let laid =
+    List.map
+      (fun (fname, ftype) ->
+        let align = alignment env ftype in
+        offset := (!offset + align - 1) land lnot (align - 1);
+        let f = { fname; ftype; foffset = !offset } in
+        offset := !offset + sizeof env ftype;
+        f)
+      fields
+  in
+  let size = (!offset + 1) land lnot 1 in
+  Hashtbl.add env.structs name (laid, max size 2)
+
+let struct_fields env name =
+  match Hashtbl.find_opt env.structs name with
+  | Some (fields, _) -> fields
+  | None -> invalid_arg ("undefined struct " ^ name)
+
+let find_field env sname fname =
+  match List.find_opt (fun f -> f.fname = fname) (struct_fields env sname) with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "struct %s has no field %s" sname fname)
+
+let is_integer = function Int | Uint | Char -> true | _ -> false
+let is_pointer = function Ptr _ -> true | _ -> false
+let is_scalar t = is_integer t || is_pointer t
+
+let decays_to = function
+  | Array (t, _) -> Ptr t
+  | Func _ as f -> Ptr f
+  | t -> t
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Int, Int | Uint, Uint | Char, Char -> true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | Struct a, Struct b -> a = b
+  | Func (r1, p1), Func (r2, p2) ->
+    equal r1 r2 && List.length p1 = List.length p2 && List.for_all2 equal p1 p2
+  | _ -> false
+
+let rec to_string = function
+  | Void -> "void"
+  | Int -> "int"
+  | Uint -> "uint"
+  | Char -> "char"
+  | Ptr t -> to_string t ^ "*"
+  | Array (t, n) -> Printf.sprintf "%s[%d]" (to_string t) n
+  | Struct s -> "struct " ^ s
+  | Func (r, ps) ->
+    Printf.sprintf "%s(%s)" (to_string r)
+      (String.concat ", " (List.map to_string ps))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,43 @@
+(** WearC types and layout.
+
+    [int]/[uint] are 16-bit, [char] is an unsigned byte, pointers are
+    16-bit.  Struct fields of word types are 2-aligned; struct sizes
+    round up to 2. *)
+
+type t =
+  | Void
+  | Int
+  | Uint
+  | Char
+  | Ptr of t
+  | Array of t * int
+  | Struct of string
+  | Func of t * t list  (** return type, parameter types *)
+
+type field = { fname : string; ftype : t; foffset : int }
+
+(** Struct layout environment. *)
+type env
+
+val create_env : unit -> env
+
+val define_struct : env -> string -> (string * t) list -> unit
+(** @raise Invalid_argument on redefinition. *)
+
+val struct_fields : env -> string -> field list
+val find_field : env -> string -> string -> field
+
+val sizeof : env -> t -> int
+(** @raise Invalid_argument for [Void] or [Func]. *)
+
+val alignment : env -> t -> int
+val is_integer : t -> bool
+val is_pointer : t -> bool
+val is_scalar : t -> bool
+
+val decays_to : t -> t
+(** Arrays decay to pointers, functions to function pointers. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

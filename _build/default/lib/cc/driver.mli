@@ -1,0 +1,28 @@
+(** Compiler driver: source text to assembly sections plus the
+    analysis facts the AFT and profiler need. *)
+
+type compiled = {
+  prefix : string;
+  mode : Isolation.mode;
+  code : Amulet_link.Asm.item list;
+  data : Amulet_link.Asm.item list;
+  infos : Codegen.fn_info list;
+  handlers : string list;  (** [handle_*] event entry points *)
+  api_gates : string list;  (** distinct API gates referenced *)
+  stack_bytes : int;  (** worst-case stack for any handler *)
+  recursive : bool;  (** stack bound came from the recursion default *)
+}
+
+val default_stack_bytes : int
+(** Fallback stack reservation when recursion defeats the analysis. *)
+
+val compile :
+  prefix:string ->
+  mode:Isolation.mode ->
+  ?shadow:bool ->
+  ?extra_externals:(string * Ctype.t) list ->
+  string ->
+  compiled
+(** Full pipeline: lex, parse, phase-1 feature check, type check,
+    code generation with isolation checks, stack-depth analysis.
+    @raise Srcloc.Error on any source-level problem. *)

@@ -1,0 +1,203 @@
+let errf = Srcloc.errf
+
+let rec type_has_pointer = function
+  | Ctype.Ptr _ | Ctype.Func _ -> true
+  | Ctype.Array (t, _) -> type_has_pointer t
+  | _ -> false
+
+let check_type loc what ty =
+  if type_has_pointer ty then
+    errf loc
+      "%s has a pointer type (%s): pointers are not available in \
+       feature-limited (AmuletC) mode"
+      what (Ctype.to_string ty)
+
+let rec check_expr (e : Ast.expr) =
+  let loc = e.Ast.eloc in
+  match e.Ast.e with
+  | Ast.Num _ | Ast.Str _ | Ast.Var _ -> ()
+  | Ast.Bin (_, a, b) ->
+    check_expr a;
+    check_expr b
+  | Ast.Un (_, a) -> check_expr a
+  | Ast.Assign (a, b) | Ast.Op_assign (_, a, b) ->
+    check_expr a;
+    check_expr b
+  | Ast.Cond (a, b, c) ->
+    check_expr a;
+    check_expr b;
+    check_expr c
+  | Ast.Call (f, args) ->
+    (match f.Ast.e with
+    | Ast.Var _ -> ()
+    | _ -> errf loc "indirect calls are not available in feature-limited mode");
+    List.iter check_expr args
+  | Ast.Index (a, i) ->
+    check_expr a;
+    check_expr i
+  | Ast.Deref _ ->
+    errf loc "pointer dereference ('*') is not available in feature-limited mode"
+  | Ast.Addr _ ->
+    errf loc "address-of ('&') is not available in feature-limited mode"
+  | Ast.Member (a, _) -> check_expr a
+  | Ast.Arrow _ ->
+    errf loc "'->' is not available in feature-limited mode"
+  | Ast.Pre_incr a | Ast.Pre_decr a | Ast.Post_incr a | Ast.Post_decr a ->
+    check_expr a
+  | Ast.Sizeof_type ty -> check_type loc "sizeof operand" ty
+  | Ast.Sizeof_expr a -> check_expr a
+  | Ast.Cast (ty, a) ->
+    check_type loc "cast target" ty;
+    check_expr a
+
+let rec check_stmt (s : Ast.stmt) =
+  let loc = s.Ast.sloc in
+  match s.Ast.s with
+  | Ast.Sexpr e -> check_expr e
+  | Ast.Sdecl (ty, name, init) ->
+    check_type loc ("variable '" ^ name ^ "'") ty;
+    (match init with
+    | Some (Ast.Iexpr e) -> check_expr e
+    | Some (Ast.Ilist es) -> List.iter check_expr es
+    | Some (Ast.Istr _) | None -> ())
+  | Ast.Sif (c, a, b) ->
+    check_expr c;
+    List.iter check_stmt a;
+    List.iter check_stmt b
+  | Ast.Swhile (c, b) ->
+    check_expr c;
+    List.iter check_stmt b
+  | Ast.Sdo_while (b, c) ->
+    List.iter check_stmt b;
+    check_expr c
+  | Ast.Sfor (init, cond, step, body) ->
+    Option.iter check_stmt init;
+    Option.iter check_expr cond;
+    Option.iter check_expr step;
+    List.iter check_stmt body
+  | Ast.Sreturn e -> Option.iter check_expr e
+  | Ast.Sbreak | Ast.Scontinue -> ()
+  | Ast.Sswitch (e, cases, default) ->
+    check_expr e;
+    List.iter (fun (_, b) -> List.iter check_stmt b) cases;
+    Option.iter (List.iter check_stmt) default
+  | Ast.Sblock b -> List.iter check_stmt b
+
+(* ------------------------------------------------------------------ *)
+(* Call graph from the untyped AST *)
+
+let rec expr_calls acc (e : Ast.expr) =
+  let acc =
+    match e.Ast.e with
+    | Ast.Call ({ Ast.e = Ast.Var f; _ }, _) -> f :: acc
+    | _ -> acc
+  in
+  match e.Ast.e with
+  | Ast.Num _ | Ast.Str _ | Ast.Var _ | Ast.Sizeof_type _ -> acc
+  | Ast.Bin (_, a, b) | Ast.Assign (a, b) | Ast.Op_assign (_, a, b)
+  | Ast.Index (a, b) ->
+    expr_calls (expr_calls acc a) b
+  | Ast.Un (_, a) | Ast.Deref a | Ast.Addr a | Ast.Member (a, _)
+  | Ast.Arrow (a, _) | Ast.Pre_incr a | Ast.Pre_decr a | Ast.Post_incr a
+  | Ast.Post_decr a | Ast.Sizeof_expr a | Ast.Cast (_, a) ->
+    expr_calls acc a
+  | Ast.Cond (a, b, c) -> expr_calls (expr_calls (expr_calls acc a) b) c
+  | Ast.Call (f, args) ->
+    List.fold_left expr_calls (expr_calls acc f) args
+
+let rec stmt_calls acc (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Sexpr e -> expr_calls acc e
+  | Ast.Sdecl (_, _, Some (Ast.Iexpr e)) -> expr_calls acc e
+  | Ast.Sdecl (_, _, Some (Ast.Ilist es)) -> List.fold_left expr_calls acc es
+  | Ast.Sdecl _ -> acc
+  | Ast.Sif (c, a, b) ->
+    List.fold_left stmt_calls
+      (List.fold_left stmt_calls (expr_calls acc c) a)
+      b
+  | Ast.Swhile (c, b) -> List.fold_left stmt_calls (expr_calls acc c) b
+  | Ast.Sdo_while (b, c) -> expr_calls (List.fold_left stmt_calls acc b) c
+  | Ast.Sfor (init, cond, step, body) ->
+    let acc = match init with Some s -> stmt_calls acc s | None -> acc in
+    let acc = match cond with Some e -> expr_calls acc e | None -> acc in
+    let acc = match step with Some e -> expr_calls acc e | None -> acc in
+    List.fold_left stmt_calls acc body
+  | Ast.Sreturn (Some e) -> expr_calls acc e
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue -> acc
+  | Ast.Sswitch (e, cases, default) ->
+    let acc = expr_calls acc e in
+    let acc =
+      List.fold_left (fun acc (_, b) -> List.fold_left stmt_calls acc b) acc cases
+    in
+    (match default with
+    | Some b -> List.fold_left stmt_calls acc b
+    | None -> acc)
+  | Ast.Sblock b -> List.fold_left stmt_calls acc b
+
+let call_edges (prog : Ast.program) =
+  let defined =
+    List.filter_map
+      (function Ast.Dfunc f -> Some f.Ast.fname | _ -> None)
+      prog
+  in
+  List.filter_map
+    (function
+      | Ast.Dfunc f ->
+        let calls = List.fold_left stmt_calls [] f.Ast.fbody in
+        let in_unit = List.filter (fun g -> List.mem g defined) calls in
+        Some (f.Ast.fname, List.sort_uniq compare in_unit)
+      | _ -> None)
+    prog
+
+let find_recursion edges =
+  (* DFS with colors; returns the cycle path if found. *)
+  let color = Hashtbl.create 16 in
+  let cycle = ref None in
+  let rec visit path f =
+    match Hashtbl.find_opt color f with
+    | Some `Done -> ()
+    | Some `Active ->
+      if !cycle = None then begin
+        let rec cut = function
+          | [] -> [ f ]
+          | x :: rest -> if x = f then [ x ] else x :: cut rest
+        in
+        cycle := Some (List.rev (cut path))
+      end
+    | None ->
+      Hashtbl.replace color f `Active;
+      List.iter
+        (fun g -> if !cycle = None then visit (g :: path) g)
+        (try List.assoc f edges with Not_found -> []);
+      Hashtbl.replace color f `Done
+  in
+  List.iter (fun (f, _) -> if !cycle = None then visit [ f ] f) edges;
+  !cycle
+
+let check ~mode (prog : Ast.program) =
+  if not (Isolation.allows_pointers mode) then
+    List.iter
+      (function
+        | Ast.Dglobal g ->
+          check_type g.Ast.gloc ("global '" ^ g.Ast.gname ^ "'") g.Ast.gtype
+        | Ast.Dstruct (sname, fields, loc) ->
+          List.iter
+            (fun (fname, ty) ->
+              check_type loc
+                (Printf.sprintf "field '%s.%s'" sname fname)
+                ty)
+            fields
+        | Ast.Dfunc f ->
+          List.iter
+            (fun (pname, ty) ->
+              check_type f.Ast.floc ("parameter '" ^ pname ^ "'") ty)
+            f.Ast.fparams;
+          List.iter check_stmt f.Ast.fbody)
+      prog;
+  if not (Isolation.allows_recursion mode) then
+    match find_recursion (call_edges prog) with
+    | Some cycle ->
+      errf Srcloc.dummy
+        "recursion is not available in feature-limited mode (cycle: %s)"
+        (String.concat " -> " cycle)
+    | None -> ()

@@ -1,0 +1,21 @@
+(** AFT phase-1 language-feature checks.
+
+    All modes reject [goto] and inline assembly (already refused by
+    the parser).  Feature-Limited additionally enforces the original
+    AmuletC restrictions: no pointer or function-pointer types
+    anywhere (declarations, parameters, struct fields, casts), no
+    unary [*] or [&], no [->], and no recursion (direct or mutual).
+
+    Arrays are allowed in Feature-Limited mode — including as OS API
+    arguments, where the array name decays to a pointer under the
+    compiler's control (as on the real Amulet). *)
+
+val check : mode:Isolation.mode -> Ast.program -> unit
+(** @raise Srcloc.Error describing the offending construct. *)
+
+val call_edges : Ast.program -> (string * string list) list
+(** Direct-call edges [(caller, callees)] from the untyped AST —
+    shared with the recursion check and the call-graph analysis. *)
+
+val find_recursion : (string * string list) list -> string list option
+(** A call cycle if one exists (list of functions on the cycle). *)

@@ -1,0 +1,9 @@
+(** Hand-written lexer for WearC.
+
+    Supports decimal, hex ([0x..]) and character literals, string
+    literals with the usual escapes, [//] and [/* */] comments.
+    [goto] and [asm] lex as keywords so that the feature checker can
+    reject them with a useful message. *)
+
+val tokenize : string -> Token.spanned list
+(** @raise Srcloc.Error on malformed input. *)

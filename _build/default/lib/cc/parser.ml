@@ -1,0 +1,559 @@
+open Token
+
+type state = { toks : Token.spanned array; mutable pos : int }
+
+let cur st = st.toks.(st.pos)
+let cur_tok st = (cur st).tok
+let cur_loc st = (cur st).loc
+
+let peek_tok st n =
+  if st.pos + n < Array.length st.toks then st.toks.(st.pos + n).tok else EOF
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let errf st fmt = Srcloc.errf (cur_loc st) fmt
+
+let expect st tok =
+  if cur_tok st = tok then advance st
+  else
+    errf st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (cur_tok st))
+
+let accept st tok =
+  if cur_tok st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match cur_tok st with
+  | IDENT s ->
+    advance st;
+    s
+  | t -> errf st "expected identifier, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types and declarators *)
+
+let starts_type st =
+  match cur_tok st with
+  | KW_int | KW_uint | KW_char | KW_void | KW_struct | KW_const -> true
+  | _ -> false
+
+let parse_base_type st =
+  let rec go () =
+    match cur_tok st with
+    | KW_const ->
+      advance st;
+      go ()
+    | KW_int ->
+      advance st;
+      Ctype.Int
+    | KW_uint ->
+      advance st;
+      Ctype.Uint
+    | KW_char ->
+      advance st;
+      Ctype.Char
+    | KW_void ->
+      advance st;
+      Ctype.Void
+    | KW_struct ->
+      advance st;
+      let name = expect_ident st in
+      Ctype.Struct name
+    | t -> errf st "expected a type, found '%s'" (Token.to_string t)
+  in
+  go ()
+
+(* A parsed declarator: the introduced name, a function from the base
+   type to the declared type, and — when the declarator is directly a
+   function (the [f(a, b)] form) — the named parameter list. *)
+type declarator = {
+  dname : string;
+  dwrap : Ctype.t -> Ctype.t;
+  dparams : (string * Ctype.t) list option;
+}
+
+let rec parse_declarator st =
+  if accept st STAR then
+    let d = parse_declarator st in
+    { d with dwrap = (fun t -> d.dwrap (Ctype.Ptr t)); dparams = None }
+  else parse_direct st
+
+and parse_direct st =
+  let inner =
+    match cur_tok st with
+    | IDENT name ->
+      advance st;
+      { dname = name; dwrap = (fun t -> t); dparams = None }
+    | LPAREN when (match peek_tok st 1 with STAR | IDENT _ -> true | _ -> false) ->
+      advance st;
+      let d = parse_declarator st in
+      expect st RPAREN;
+      d
+    | _ ->
+      (* abstract declarator (unnamed parameter) *)
+      { dname = ""; dwrap = (fun t -> t); dparams = None }
+  in
+  parse_suffixes st inner
+
+and parse_suffixes st inner =
+  match cur_tok st with
+  | LBRACKET ->
+    advance st;
+    let n =
+      match cur_tok st with
+      | INT_LIT n ->
+        advance st;
+        n
+      | t -> errf st "array size must be an integer literal, found '%s'"
+               (Token.to_string t)
+    in
+    expect st RBRACKET;
+    (* remaining suffixes bind inside this one *)
+    let rest = parse_suffixes st { inner with dwrap = (fun t -> t) } in
+    {
+      dname = inner.dname;
+      dwrap = (fun t -> inner.dwrap (Ctype.Array (rest.dwrap t, n)));
+      dparams = None;
+    }
+  | LPAREN ->
+    advance st;
+    let params = parse_params st in
+    expect st RPAREN;
+    let ptypes = List.map snd params in
+    {
+      dname = inner.dname;
+      dwrap = (fun t -> inner.dwrap (Ctype.Func (t, ptypes)));
+      dparams = Some params;
+    }
+  | _ -> inner
+
+and parse_params st =
+  if cur_tok st = RPAREN then []
+  else if cur_tok st = KW_void && peek_tok st 1 = RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let base = parse_base_type st in
+      let d = parse_declarator st in
+      let ty = Ctype.decays_to (d.dwrap base) in
+      let acc = (d.dname, ty) :: acc in
+      if accept st COMMA then go acc else List.rev acc
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let loc = cur_loc st in
+  let lhs = parse_cond st in
+  let mk op =
+    advance st;
+    let rhs = parse_assign st in
+    { Ast.e = op lhs rhs; eloc = loc }
+  in
+  match cur_tok st with
+  | ASSIGN -> mk (fun a b -> Ast.Assign (a, b))
+  | PLUS_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Add, a, b))
+  | MINUS_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Sub, a, b))
+  | STAR_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Mul, a, b))
+  | SLASH_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Div, a, b))
+  | PERCENT_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Mod, a, b))
+  | AMP_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Band, a, b))
+  | PIPE_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Bor, a, b))
+  | CARET_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Bxor, a, b))
+  | LSHIFT_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Shl, a, b))
+  | RSHIFT_ASSIGN -> mk (fun a b -> Ast.Op_assign (Ast.Shr, a, b))
+  | _ -> lhs
+
+and parse_cond st =
+  let loc = cur_loc st in
+  let c = parse_binary st 0 in
+  if accept st QUESTION then begin
+    let t = parse_expr st in
+    expect st COLON;
+    let f = parse_cond st in
+    { Ast.e = Ast.Cond (c, t, f); eloc = loc }
+  end
+  else c
+
+(* Binary operator precedence, loosest first. *)
+and binop_levels =
+  [|
+    [ (OROR, Ast.Lor) ];
+    [ (ANDAND, Ast.Land) ];
+    [ (PIPE, Ast.Bor) ];
+    [ (CARET, Ast.Bxor) ];
+    [ (AMP, Ast.Band) ];
+    [ (EQEQ, Ast.Eq); (NEQ, Ast.Ne) ];
+    [ (LT, Ast.Lt); (GT, Ast.Gt); (LE, Ast.Le); (GE, Ast.Ge) ];
+    [ (LSHIFT, Ast.Shl); (RSHIFT, Ast.Shr) ];
+    [ (PLUS, Ast.Add); (MINUS, Ast.Sub) ];
+    [ (STAR, Ast.Mul); (SLASH, Ast.Div); (PERCENT, Ast.Mod) ];
+  |]
+
+and parse_binary st level =
+  if level >= Array.length binop_levels then parse_unary st
+  else begin
+    let loc = cur_loc st in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match List.assoc_opt (cur_tok st) binop_levels.(level) with
+      | Some op ->
+        advance st;
+        let rhs = parse_binary st (level + 1) in
+        lhs := { Ast.e = Ast.Bin (op, !lhs, rhs); eloc = loc }
+      | None -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  let loc = cur_loc st in
+  let mk node = { Ast.e = node; eloc = loc } in
+  match cur_tok st with
+  | MINUS ->
+    advance st;
+    mk (Ast.Un (Ast.Neg, parse_unary st))
+  | PLUS ->
+    advance st;
+    parse_unary st
+  | BANG ->
+    advance st;
+    mk (Ast.Un (Ast.Lnot, parse_unary st))
+  | TILDE ->
+    advance st;
+    mk (Ast.Un (Ast.Bnot, parse_unary st))
+  | STAR ->
+    advance st;
+    mk (Ast.Deref (parse_unary st))
+  | AMP ->
+    advance st;
+    mk (Ast.Addr (parse_unary st))
+  | PLUSPLUS ->
+    advance st;
+    mk (Ast.Pre_incr (parse_unary st))
+  | MINUSMINUS ->
+    advance st;
+    mk (Ast.Pre_decr (parse_unary st))
+  | KW_sizeof ->
+    advance st;
+    if cur_tok st = LPAREN && starts_type { st with pos = st.pos + 1 } then begin
+      expect st LPAREN;
+      let ty = parse_type_name st in
+      expect st RPAREN;
+      mk (Ast.Sizeof_type ty)
+    end
+    else mk (Ast.Sizeof_expr (parse_unary st))
+  | LPAREN when starts_type { st with pos = st.pos + 1 } ->
+    advance st;
+    let ty = parse_type_name st in
+    expect st RPAREN;
+    mk (Ast.Cast (ty, parse_unary st))
+  | _ -> parse_postfix st
+
+(* Abstract declarator for casts/sizeof: full declarator syntax with
+   an optional (absent) identifier — plain pointers, arrays, and
+   function-pointer types alike. *)
+and parse_type_name st =
+  let base = parse_base_type st in
+  let d = parse_declarator st in
+  if d.dname <> "" then
+    errf st "type name must not declare an identifier";
+  d.dwrap base
+
+and parse_postfix st =
+  let loc = cur_loc st in
+  let mk node = { Ast.e = node; eloc = loc } in
+  let rec suffix e =
+    match cur_tok st with
+    | LPAREN ->
+      advance st;
+      let args =
+        if cur_tok st = RPAREN then []
+        else
+          let rec go acc =
+            let a = parse_assign st in
+            if accept st COMMA then go (a :: acc) else List.rev (a :: acc)
+          in
+          go []
+      in
+      expect st RPAREN;
+      suffix (mk (Ast.Call (e, args)))
+    | LBRACKET ->
+      advance st;
+      let i = parse_expr st in
+      expect st RBRACKET;
+      suffix (mk (Ast.Index (e, i)))
+    | DOT ->
+      advance st;
+      suffix (mk (Ast.Member (e, expect_ident st)))
+    | ARROW ->
+      advance st;
+      suffix (mk (Ast.Arrow (e, expect_ident st)))
+    | PLUSPLUS ->
+      advance st;
+      suffix (mk (Ast.Post_incr e))
+    | MINUSMINUS ->
+      advance st;
+      suffix (mk (Ast.Post_decr e))
+    | _ -> e
+  in
+  suffix (parse_primary st)
+
+and parse_primary st =
+  let loc = cur_loc st in
+  let mk node = { Ast.e = node; eloc = loc } in
+  match cur_tok st with
+  | INT_LIT n ->
+    advance st;
+    mk (Ast.Num n)
+  | CHAR_LIT c ->
+    advance st;
+    mk (Ast.Num c)
+  | STRING_LIT s ->
+    advance st;
+    mk (Ast.Str s)
+  | IDENT name ->
+    advance st;
+    mk (Ast.Var name)
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st RPAREN;
+    e
+  | t -> errf st "expected expression, found '%s'" (Token.to_string t)
+
+(* Constant expression for case labels and sizes. *)
+let parse_const_int st =
+  let neg = accept st MINUS in
+  match cur_tok st with
+  | INT_LIT n ->
+    advance st;
+    if neg then -n else n
+  | CHAR_LIT c ->
+    advance st;
+    if neg then -c else c
+  | t -> errf st "expected integer constant, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let parse_init st =
+  if accept st LBRACE then begin
+    let rec go acc =
+      let e = parse_assign st in
+      if accept st COMMA then
+        if cur_tok st = RBRACE then List.rev (e :: acc) else go (e :: acc)
+      else List.rev (e :: acc)
+    in
+    let es = go [] in
+    expect st RBRACE;
+    Ast.Ilist es
+  end
+  else
+    match cur_tok st with
+    | STRING_LIT s ->
+      advance st;
+      Ast.Istr s
+    | _ -> Ast.Iexpr (parse_expr st)
+
+let rec parse_stmt st =
+  let loc = cur_loc st in
+  let mk s = { Ast.s; sloc = loc } in
+  match cur_tok st with
+  | KW_goto -> errf st "'goto' is not supported on this platform"
+  | KW_asm -> errf st "inline assembly is not supported on this platform"
+  | LBRACE ->
+    advance st;
+    let body = parse_stmts_until st RBRACE in
+    expect st RBRACE;
+    mk (Ast.Sblock body)
+  | KW_if ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expr st in
+    expect st RPAREN;
+    let then_ = block_of st in
+    let else_ = if accept st KW_else then block_of st else [] in
+    mk (Ast.Sif (c, then_, else_))
+  | KW_while ->
+    advance st;
+    expect st LPAREN;
+    let c = parse_expr st in
+    expect st RPAREN;
+    mk (Ast.Swhile (c, block_of st))
+  | KW_do ->
+    advance st;
+    let body = block_of st in
+    expect st KW_while;
+    expect st LPAREN;
+    let c = parse_expr st in
+    expect st RPAREN;
+    expect st SEMI;
+    mk (Ast.Sdo_while (body, c))
+  | KW_for ->
+    advance st;
+    expect st LPAREN;
+    let init =
+      if cur_tok st = SEMI then None
+      else if starts_type st then Some (parse_local_decl st)
+      else
+        Some { Ast.s = Ast.Sexpr (parse_expr st); sloc = loc }
+    in
+    if (match init with Some { Ast.s = Ast.Sdecl _; _ } -> false | _ -> true)
+    then expect st SEMI;
+    let cond = if cur_tok st = SEMI then None else Some (parse_expr st) in
+    expect st SEMI;
+    let step = if cur_tok st = RPAREN then None else Some (parse_expr st) in
+    expect st RPAREN;
+    mk (Ast.Sfor (init, cond, step, block_of st))
+  | KW_return ->
+    advance st;
+    let e = if cur_tok st = SEMI then None else Some (parse_expr st) in
+    expect st SEMI;
+    mk (Ast.Sreturn e)
+  | KW_break ->
+    advance st;
+    expect st SEMI;
+    mk Ast.Sbreak
+  | KW_continue ->
+    advance st;
+    expect st SEMI;
+    mk Ast.Scontinue
+  | KW_switch ->
+    advance st;
+    expect st LPAREN;
+    let e = parse_expr st in
+    expect st RPAREN;
+    expect st LBRACE;
+    let cases = ref [] and default = ref None in
+    while cur_tok st <> RBRACE do
+      if accept st KW_case then begin
+        let v = parse_const_int st in
+        expect st COLON;
+        let body = parse_stmts_until_case st in
+        cases := (v, body) :: !cases
+      end
+      else if accept st KW_default then begin
+        expect st COLON;
+        let body = parse_stmts_until_case st in
+        if !default <> None then errf st "duplicate default";
+        default := Some body
+      end
+      else errf st "expected 'case' or 'default'"
+    done;
+    expect st RBRACE;
+    mk (Ast.Sswitch (e, List.rev !cases, !default))
+  | _ when starts_type st ->
+    let d = parse_local_decl st in
+    d
+  | _ ->
+    let e = parse_expr st in
+    expect st SEMI;
+    mk (Ast.Sexpr e)
+
+and parse_local_decl st =
+  let loc = cur_loc st in
+  let base = parse_base_type st in
+  let d = parse_declarator st in
+  let ty = d.dwrap base in
+  let init = if accept st ASSIGN then Some (parse_init st) else None in
+  expect st SEMI;
+  { Ast.s = Ast.Sdecl (ty, d.dname, init); sloc = loc }
+
+and block_of st =
+  if cur_tok st = LBRACE then begin
+    advance st;
+    let body = parse_stmts_until st RBRACE in
+    expect st RBRACE;
+    body
+  end
+  else [ parse_stmt st ]
+
+and parse_stmts_until st closer =
+  let rec go acc =
+    if cur_tok st = closer || cur_tok st = EOF then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmts_until_case st =
+  let rec go acc =
+    match cur_tok st with
+    | KW_case | KW_default | RBRACE -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse_top st =
+  let loc = cur_loc st in
+  if
+    cur_tok st = KW_struct
+    && (match peek_tok st 2 with LBRACE -> true | _ -> false)
+  then begin
+    advance st;
+    let name = expect_ident st in
+    expect st LBRACE;
+    let fields = ref [] in
+    while cur_tok st <> RBRACE do
+      let base = parse_base_type st in
+      let d = parse_declarator st in
+      expect st SEMI;
+      fields := (d.dname, d.dwrap base) :: !fields
+    done;
+    expect st RBRACE;
+    expect st SEMI;
+    Ast.Dstruct (name, List.rev !fields, loc)
+  end
+  else begin
+    let const = cur_tok st = KW_const in
+    let base = parse_base_type st in
+    let d = parse_declarator st in
+    let ty = d.dwrap base in
+    match (ty, d.dparams) with
+    | Ctype.Func (ret, _), Some params when cur_tok st = LBRACE ->
+      advance st;
+      let body = parse_stmts_until st RBRACE in
+      expect st RBRACE;
+      Ast.Dfunc
+        { fname = d.dname; fret = ret; fparams = params; fbody = body;
+          floc = loc }
+    | Ctype.Func _, _ ->
+      (* prototype: accepted and ignored *)
+      expect st SEMI;
+      Ast.Dstruct ("__proto_" ^ d.dname, [], loc)
+    | _ ->
+      let init = if accept st ASSIGN then Some (parse_init st) else None in
+      expect st SEMI;
+      Ast.Dglobal { gname = d.dname; gtype = ty; ginit = init; gconst = const;
+                    gloc = loc }
+  end
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let rec go acc =
+    if cur_tok st = EOF then List.rev acc else go (parse_top st :: acc)
+  in
+  (* drop ignored prototype markers *)
+  List.filter
+    (function Ast.Dstruct (n, [], _) -> not (String.length n > 8 && String.sub n 0 8 = "__proto_") | _ -> true)
+    (go [])
+
+let parse_expression src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  parse_expr st

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for WearC.
+
+    Full C expression grammar (assignment and compound assignment,
+    [?:], short-circuit logic, casts, sizeof, pre/post inc/dec, C
+    declarator syntax including function pointers).  [goto] and inline
+    [asm] are recognized and rejected here with a clear diagnostic —
+    the AFT's phase-1 "unsupported language feature" check. *)
+
+val parse : string -> Ast.program
+(** @raise Srcloc.Error on syntax errors or unsupported features. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression (for tests). *)

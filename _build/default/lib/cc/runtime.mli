@@ -1,0 +1,21 @@
+(** Compiler runtime support routines.
+
+    These live in the OS code region (segment 1: executable by apps)
+    and follow a scratch-register convention: arguments and results in
+    R12/R13, R14/R15 clobbered, R4-R11 untouched — so the code
+    generator may keep expression temporaries live across helper
+    calls.
+
+    Includes [__bounds_check] (index in R14, limit in R15), the
+    Feature-Limited array check of the original Amulet toolchain: on
+    violation it writes {!Isolation.fault_array_bounds} to the
+    software-fault port. *)
+
+val items : Amulet_link.Asm.item list
+(** Assembly for all helpers: [__mulhi], [__udivhi], [__umodhi],
+    [__divhi], [__modhi], [__shlhi], [__shrhi], [__sarhi],
+    [__bounds_check]. *)
+
+val builtin_externals : (string * Ctype.t) list
+(** Type signatures of the compiler builtins ([__halt], [__putc],
+    [__timer_start], [__timer_read]) for the type checker. *)

@@ -1,0 +1,8 @@
+type t = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let pp ppf t = Format.fprintf ppf "line %d, col %d" t.line t.col
+
+exception Error of t * string
+
+let errf loc fmt = Format.kasprintf (fun s -> raise (Error (loc, s))) fmt

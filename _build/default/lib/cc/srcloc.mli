@@ -1,0 +1,12 @@
+(** Source locations and compiler diagnostics for WearC. *)
+
+type t = { line : int; col : int }
+
+val dummy : t
+val pp : Format.formatter -> t -> unit
+
+exception Error of t * string
+(** All compiler phases report user-facing errors through this. *)
+
+val errf : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [errf loc fmt ...] raises {!Error}. *)

@@ -1,0 +1,44 @@
+type result = Finite of int | Recursive of string list
+
+(* Slack per activation: expression spills are bounded by the scratch
+   pool (7 words) and runtime helpers use at most 2 stack words. *)
+let slack = 2 * (7 + 2)
+
+let frame_cost (fi : Codegen.fn_info) =
+  2 (* return address *) + 2 (* saved FP *)
+  + (2 * fi.Codegen.fi_saved_regs)
+  + fi.Codegen.fi_frame_bytes + slack
+
+let analyze infos ~root =
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun fi -> Hashtbl.replace by_name fi.Codegen.fi_name fi) infos;
+  let memo = Hashtbl.create 16 in
+  let exception Cycle of string list in
+  let rec depth path name =
+    if List.mem name path then raise (Cycle (List.rev (name :: path)));
+    match Hashtbl.find_opt memo name with
+    | Some d -> d
+    | None ->
+      let d =
+        match Hashtbl.find_opt by_name name with
+        | None -> 0 (* external: gates account for their own stack *)
+        | Some fi ->
+          let children =
+            List.fold_left
+              (fun acc callee -> max acc (depth (name :: path) callee))
+              0 fi.Codegen.fi_calls
+          in
+          frame_cost fi + children
+      in
+      Hashtbl.replace memo name d;
+      d
+  in
+  try Finite (depth [] root) with Cycle c -> Recursive c
+
+let worst_case infos ~roots ~default =
+  List.fold_left
+    (fun acc root ->
+      match analyze infos ~root with
+      | Finite d -> max acc d
+      | Recursive _ -> max acc default)
+    0 roots

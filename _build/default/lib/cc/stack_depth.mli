@@ -1,0 +1,23 @@
+(** AFT phase-1 stack-depth analysis.
+
+    From the call graph and each function's frame size, compute the
+    worst-case stack bytes needed below an entry point.  In the
+    presence of recursion the maximum is statically unknowable (the
+    paper: "the AFT cannot guarantee a large enough stack"); callers
+    then fall back to a configured default and rely on the MPU to
+    catch overflow at run time. *)
+
+type result =
+  | Finite of int  (** worst-case bytes, including call overhead *)
+  | Recursive of string list  (** a call cycle reachable from the root *)
+
+val frame_cost : Codegen.fn_info -> int
+(** Bytes one activation of the function consumes: return address,
+    saved frame pointer, callee-saved registers, locals, plus slack
+    for expression spills and runtime-helper calls. *)
+
+val analyze : Codegen.fn_info list -> root:string -> result
+
+val worst_case :
+  Codegen.fn_info list -> roots:string list -> default:int -> int
+(** Max over entry points, substituting [default] for recursive ones. *)

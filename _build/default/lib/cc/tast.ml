@@ -1,0 +1,75 @@
+(* Typed abstract syntax, produced by Typecheck.  Locals are renamed
+   to unique names; struct member accesses carry resolved fields;
+   every expression carries its type. *)
+
+type texpr = { te : texpr_node; ty : Ctype.t; tloc : Srcloc.t }
+
+and texpr_node =
+  | Tnum of int
+  | Tstr of string  (* literal contents; codegen interns into rodata *)
+  | Tlocal of string  (* unique local name (includes parameters) *)
+  | Tglobal of string
+  | Tfunc_name of string  (* function used as a value *)
+  | Tbin of Ast.binop * texpr * texpr
+  | Tun of Ast.unop * texpr
+  | Tassign of texpr * texpr
+  | Top_assign of Ast.binop * texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tcall of string * texpr list  (* direct call, may be external/API *)
+  | Tcall_ptr of texpr * texpr list  (* through a function pointer *)
+  | Tindex of texpr * texpr  (* base (array lvalue or pointer value) *)
+  | Tderef of texpr
+  | Taddr of texpr
+  | Tmember of texpr * Ctype.field  (* e.f  (e is a struct lvalue) *)
+  | Tarrow of texpr * Ctype.field  (* e->f (e is a struct pointer) *)
+  | Tpre_incr of texpr
+  | Tpre_decr of texpr
+  | Tpost_incr of texpr
+  | Tpost_decr of texpr
+  | Tcast of Ctype.t * texpr
+
+type tstmt =
+  | Tsexpr of texpr
+  | Tsdecl of string * Ctype.t * tinit option  (* unique name *)
+  | Tsif of texpr * tstmt list * tstmt list
+  | Tswhile of texpr * tstmt list
+  | Tsdo_while of tstmt list * texpr
+  | Tsfor of tstmt option * texpr option * texpr option * tstmt list
+  | Tsreturn of texpr option
+  | Tsbreak
+  | Tscontinue
+  | Tsswitch of texpr * (int * tstmt list) list * tstmt list option
+  | Tsblock of tstmt list
+
+and tinit = Ti_expr of texpr | Ti_list of texpr list | Ti_str of string
+
+type tfunc = {
+  tfname : string;
+  tfret : Ctype.t;
+  tfparams : (string * Ctype.t) list;  (* unique names *)
+  tfbody : tstmt list;
+  tfloc : Srcloc.t;
+}
+
+type tglobal = {
+  tgname : string;
+  tgtype : Ctype.t;
+  tginit : tinit option;
+  tgconst : bool;
+}
+
+type program = {
+  struct_env : Ctype.env;
+  globals : tglobal list;  (* in declaration order *)
+  funcs : tfunc list;
+}
+
+(* Is this expression an lvalue (has an address)? *)
+let rec is_lvalue e =
+  match e.te with
+  | Tlocal _ | Tglobal _ | Tderef _ -> true
+  | Tindex _ -> true
+  | Tmember (b, _) -> is_lvalue b
+  | Tarrow _ -> true
+  | Tcast (_, e) -> is_lvalue e
+  | _ -> false

@@ -1,0 +1,53 @@
+type t =
+  | INT_LIT of int
+  | CHAR_LIT of int
+  | STRING_LIT of string
+  | IDENT of string
+  | KW_int | KW_uint | KW_char | KW_void | KW_struct | KW_const
+  | KW_if | KW_else | KW_while | KW_do | KW_for | KW_return
+  | KW_break | KW_continue | KW_switch | KW_case | KW_default
+  | KW_sizeof | KW_goto | KW_asm
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN | PERCENT_ASSIGN
+  | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN | LSHIFT_ASSIGN | RSHIFT_ASSIGN
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | CHAR_LIT c -> Printf.sprintf "'%c'" (Char.chr (c land 0xFF))
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_int -> "int" | KW_uint -> "uint" | KW_char -> "char"
+  | KW_void -> "void" | KW_struct -> "struct" | KW_const -> "const"
+  | KW_if -> "if" | KW_else -> "else" | KW_while -> "while"
+  | KW_do -> "do" | KW_for -> "for" | KW_return -> "return"
+  | KW_break -> "break" | KW_continue -> "continue"
+  | KW_switch -> "switch" | KW_case -> "case" | KW_default -> "default"
+  | KW_sizeof -> "sizeof" | KW_goto -> "goto" | KW_asm -> "asm"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | BANG -> "!"
+  | LSHIFT -> "<<" | RSHIFT -> ">>"
+  | LT -> "<" | GT -> ">" | LE -> "<=" | GE -> ">="
+  | EQEQ -> "==" | NEQ -> "!="
+  | ANDAND -> "&&" | OROR -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/=" | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&=" | PIPE_ASSIGN -> "|=" | CARET_ASSIGN -> "^="
+  | LSHIFT_ASSIGN -> "<<=" | RSHIFT_ASSIGN -> ">>="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+type spanned = { tok : t; loc : Srcloc.t }

@@ -1,0 +1,30 @@
+(** Lexical tokens of WearC. *)
+
+type t =
+  | INT_LIT of int
+  | CHAR_LIT of int
+  | STRING_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_int | KW_uint | KW_char | KW_void | KW_struct | KW_const
+  | KW_if | KW_else | KW_while | KW_do | KW_for | KW_return
+  | KW_break | KW_continue | KW_switch | KW_case | KW_default
+  | KW_sizeof | KW_goto | KW_asm
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | LSHIFT | RSHIFT
+  | LT | GT | LE | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN | PERCENT_ASSIGN
+  | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN | LSHIFT_ASSIGN | RSHIFT_ASSIGN
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+val to_string : t -> string
+
+type spanned = { tok : t; loc : Srcloc.t }

@@ -1,0 +1,495 @@
+open Tast
+
+let errf = Srcloc.errf
+
+type global_kind = Gvar of Ctype.t | Gfun of Ctype.t | Gext of Ctype.t
+
+type ctx = {
+  struct_env : Ctype.env;
+  globals : (string, global_kind) Hashtbl.t;
+  mutable scopes : (string * (string * Ctype.t)) list list;
+      (* source name -> (unique name, type), innermost scope first *)
+  mutable counter : int;
+  mutable ret_type : Ctype.t;
+  mutable loop_depth : int;  (* loops: continue targets *)
+  mutable break_depth : int;  (* loops + switches: break targets *)
+}
+
+let push_scope ctx = ctx.scopes <- [] :: ctx.scopes
+let pop_scope ctx = ctx.scopes <- List.tl ctx.scopes
+
+let declare_local ctx loc name ty =
+  (match ctx.scopes with
+  | scope :: _ when List.mem_assoc name scope ->
+    errf loc "redeclaration of '%s'" name
+  | _ -> ());
+  ctx.counter <- ctx.counter + 1;
+  let unique = Printf.sprintf "%s.%d" name ctx.counter in
+  (match ctx.scopes with
+  | scope :: rest -> ctx.scopes <- ((name, (unique, ty)) :: scope) :: rest
+  | [] -> assert false);
+  unique
+
+let lookup_local ctx name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some v -> Some v | None -> go rest)
+  in
+  go ctx.scopes
+
+let lookup ctx loc name =
+  match lookup_local ctx name with
+  | Some (unique, ty) -> `Local (unique, ty)
+  | None -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some (Gvar ty) -> `Global ty
+    | Some (Gfun ty) | Some (Gext ty) -> `Func ty
+    | None -> errf loc "undefined identifier '%s'" name)
+
+(* ------------------------------------------------------------------ *)
+(* Type utilities *)
+
+let is_void_ptr = function Ctype.Ptr Ctype.Void -> true | _ -> false
+
+let pointer_compatible a b =
+  match (a, b) with
+  | Ctype.Ptr _, Ctype.Ptr _ ->
+    Ctype.equal a b || is_void_ptr a || is_void_ptr b
+  | _ -> false
+
+let is_zero e = match e.te with Tnum 0 -> true | _ -> false
+
+let assignable ~dst ~src_e =
+  let src = src_e.ty in
+  (Ctype.is_integer dst && Ctype.is_integer src)
+  || pointer_compatible dst src
+  || (Ctype.is_pointer dst && is_zero src_e)
+  || (Ctype.is_pointer dst && Ctype.is_integer src)
+  (* int -> pointer allowed with a warning culture of embedded C *)
+
+let arith_result a b =
+  match (a, b) with
+  | Ctype.Uint, _ | _, Ctype.Uint -> Ctype.Uint
+  | _ -> Ctype.Int
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let rec check_expr ctx (e : Ast.expr) : texpr =
+  let loc = e.Ast.eloc in
+  let mk te ty = { te; ty; tloc = loc } in
+  match e.Ast.e with
+  | Ast.Num n -> mk (Tnum n) Ctype.Int
+  | Ast.Str s -> mk (Tstr s) (Ctype.Ptr Ctype.Char)
+  | Ast.Var name -> (
+    match lookup ctx loc name with
+    | `Local (unique, ty) -> mk (Tlocal unique) ty
+    | `Global ty -> mk (Tglobal name) ty
+    | `Func ty -> mk (Tfunc_name name) ty)
+  | Ast.Bin (op, a, b) -> check_bin ctx loc op a b
+  | Ast.Un (op, a) ->
+    let ta = rvalue ctx a in
+    (match op with
+    | Ast.Neg | Ast.Bnot ->
+      if not (Ctype.is_integer ta.ty) then
+        errf loc "operand of %s must be integer"
+          (match op with Ast.Neg -> "unary -" | _ -> "~");
+      mk (Tun (op, ta)) (arith_result ta.ty Ctype.Int)
+    | Ast.Lnot ->
+      if not (Ctype.is_scalar ta.ty) then errf loc "operand of ! must be scalar";
+      mk (Tun (op, ta)) Ctype.Int)
+  | Ast.Assign (l, r) ->
+    let tl = check_expr ctx l in
+    if not (is_lvalue tl) then errf loc "left side of = is not assignable";
+    let tr = rvalue ctx r in
+    if not (assignable ~dst:tl.ty ~src_e:tr) then
+      errf loc "cannot assign %s to %s" (Ctype.to_string tr.ty)
+        (Ctype.to_string tl.ty);
+    mk (Tassign (tl, tr)) tl.ty
+  | Ast.Op_assign (op, l, r) ->
+    let tl = check_expr ctx l in
+    if not (is_lvalue tl) then errf loc "left side of %s= is not assignable"
+        (Ast.binop_name op);
+    let tr = rvalue ctx r in
+    (match op with
+    | Ast.Add | Ast.Sub when Ctype.is_pointer tl.ty ->
+      if not (Ctype.is_integer tr.ty) then
+        errf loc "pointer %s= needs an integer" (Ast.binop_name op)
+    | _ ->
+      if not (Ctype.is_integer tl.ty && Ctype.is_integer tr.ty) then
+        errf loc "%s= needs integer operands" (Ast.binop_name op));
+    mk (Top_assign (op, tl, tr)) tl.ty
+  | Ast.Cond (c, a, b) ->
+    let tc = rvalue ctx c in
+    if not (Ctype.is_scalar tc.ty) then errf loc "condition must be scalar";
+    let ta = rvalue ctx a and tb = rvalue ctx b in
+    let ty =
+      if Ctype.is_integer ta.ty && Ctype.is_integer tb.ty then
+        arith_result ta.ty tb.ty
+      else if pointer_compatible ta.ty tb.ty then ta.ty
+      else if Ctype.is_pointer ta.ty && is_zero tb then ta.ty
+      else if Ctype.is_pointer tb.ty && is_zero ta then tb.ty
+      else errf loc "incompatible branches of ?:"
+    in
+    mk (Tcond (tc, ta, tb)) ty
+  | Ast.Call (callee, args) -> check_call ctx loc callee args
+  | Ast.Index (a, i) ->
+    let ta = check_expr ctx a in
+    let ti = rvalue ctx i in
+    if not (Ctype.is_integer ti.ty) then errf loc "array index must be integer";
+    let elem =
+      match ta.ty with
+      | Ctype.Array (t, _) -> t
+      | Ctype.Ptr t when not (Ctype.equal t Ctype.Void) -> t
+      | t -> errf loc "cannot index a value of type %s" (Ctype.to_string t)
+    in
+    mk (Tindex (ta, ti)) elem
+  | Ast.Deref p ->
+    let tp = rvalue ctx p in
+    (match tp.ty with
+    | Ctype.Ptr (Ctype.Func _ as f) ->
+      (* *fp is the function designator; keep the pointer type *)
+      mk tp.te (Ctype.Ptr f)
+    | Ctype.Ptr Ctype.Void -> errf loc "cannot dereference void*"
+    | Ctype.Ptr t -> mk (Tderef tp) t
+    | t -> errf loc "cannot dereference %s" (Ctype.to_string t))
+  | Ast.Addr a -> (
+    let ta = check_expr ctx a in
+    match ta.te with
+    | Tfunc_name _ -> mk ta.te (Ctype.decays_to ta.ty)
+    | _ ->
+      if not (is_lvalue ta) then errf loc "cannot take the address of this";
+      (match ta.ty with
+      | Ctype.Array (t, _) -> mk (Taddr ta) (Ctype.Ptr t)
+      | t -> mk (Taddr ta) (Ctype.Ptr t)))
+  | Ast.Member (b, f) ->
+    let tb = check_expr ctx b in
+    (match tb.ty with
+    | Ctype.Struct sname ->
+      let field =
+        try Ctype.find_field ctx.struct_env sname f
+        with Invalid_argument m -> errf loc "%s" m
+      in
+      if not (is_lvalue tb) then errf loc "struct value is not addressable";
+      mk (Tmember (tb, field)) field.Ctype.ftype
+    | t -> errf loc "'.%s' applied to non-struct %s" f (Ctype.to_string t))
+  | Ast.Arrow (b, f) ->
+    let tb = rvalue ctx b in
+    (match tb.ty with
+    | Ctype.Ptr (Ctype.Struct sname) ->
+      let field =
+        try Ctype.find_field ctx.struct_env sname f
+        with Invalid_argument m -> errf loc "%s" m
+      in
+      mk (Tarrow (tb, field)) field.Ctype.ftype
+    | t -> errf loc "'->%s' applied to %s" f (Ctype.to_string t))
+  | Ast.Pre_incr a -> incr_like ctx loc a (fun e -> Tpre_incr e)
+  | Ast.Pre_decr a -> incr_like ctx loc a (fun e -> Tpre_decr e)
+  | Ast.Post_incr a -> incr_like ctx loc a (fun e -> Tpost_incr e)
+  | Ast.Post_decr a -> incr_like ctx loc a (fun e -> Tpost_decr e)
+  | Ast.Sizeof_type t -> mk (Tnum (Ctype.sizeof ctx.struct_env t)) Ctype.Uint
+  | Ast.Sizeof_expr e ->
+    let te = check_expr ctx e in
+    mk (Tnum (Ctype.sizeof ctx.struct_env te.ty)) Ctype.Uint
+  | Ast.Cast (ty, a) ->
+    let ta = rvalue ctx a in
+    if not (Ctype.is_scalar ty) && ty <> Ctype.Void then
+      errf loc "can only cast to scalar types";
+    if not (Ctype.is_scalar ta.ty) then errf loc "can only cast scalar values";
+    mk (Tcast (ty, ta)) ty
+
+and incr_like ctx loc a wrap =
+  let ta = check_expr ctx a in
+  if not (is_lvalue ta) then errf loc "++/-- needs an lvalue";
+  if not (Ctype.is_integer ta.ty || Ctype.is_pointer ta.ty) then
+    errf loc "++/-- needs an integer or pointer";
+  { te = wrap ta; ty = ta.ty; tloc = loc }
+
+(* An expression in value position: arrays decay to pointers. *)
+and rvalue ctx e =
+  let te = check_expr ctx e in
+  match te.ty with
+  | Ctype.Array (t, _) ->
+    { te with te = Taddr te; ty = Ctype.Ptr t }
+  | Ctype.Func _ -> { te with ty = Ctype.decays_to te.ty }
+  | _ -> te
+
+and check_bin ctx loc op a b =
+  let mk te ty = { te; ty; tloc = loc } in
+  let ta = rvalue ctx a and tb = rvalue ctx b in
+  match op with
+  | Ast.Add ->
+    if Ctype.is_pointer ta.ty && Ctype.is_integer tb.ty then
+      mk (Tbin (op, ta, tb)) ta.ty
+    else if Ctype.is_integer ta.ty && Ctype.is_pointer tb.ty then
+      mk (Tbin (op, tb, ta)) tb.ty
+    else if Ctype.is_integer ta.ty && Ctype.is_integer tb.ty then
+      mk (Tbin (op, ta, tb)) (arith_result ta.ty tb.ty)
+    else errf loc "invalid operands of +"
+  | Ast.Sub ->
+    if Ctype.is_pointer ta.ty && Ctype.is_integer tb.ty then
+      mk (Tbin (op, ta, tb)) ta.ty
+    else if Ctype.is_pointer ta.ty && Ctype.is_pointer tb.ty then begin
+      if not (Ctype.equal ta.ty tb.ty) then
+        errf loc "subtraction of incompatible pointers";
+      mk (Tbin (op, ta, tb)) Ctype.Int
+    end
+    else if Ctype.is_integer ta.ty && Ctype.is_integer tb.ty then
+      mk (Tbin (op, ta, tb)) (arith_result ta.ty tb.ty)
+    else errf loc "invalid operands of -"
+  | Ast.Mul | Ast.Div | Ast.Mod | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl
+  | Ast.Shr ->
+    if not (Ctype.is_integer ta.ty && Ctype.is_integer tb.ty) then
+      errf loc "invalid operands of %s" (Ast.binop_name op);
+    mk (Tbin (op, ta, tb)) (arith_result ta.ty tb.ty)
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let ok =
+      (Ctype.is_integer ta.ty && Ctype.is_integer tb.ty)
+      || pointer_compatible ta.ty tb.ty
+      || (Ctype.is_pointer ta.ty && is_zero tb)
+      || (Ctype.is_pointer tb.ty && is_zero ta)
+    in
+    if not ok then errf loc "invalid comparison";
+    mk (Tbin (op, ta, tb)) Ctype.Int
+  | Ast.Land | Ast.Lor ->
+    if not (Ctype.is_scalar ta.ty && Ctype.is_scalar tb.ty) then
+      errf loc "invalid operands of %s" (Ast.binop_name op);
+    mk (Tbin (op, ta, tb)) Ctype.Int
+
+and check_call ctx loc callee args =
+  let mk te ty = { te; ty; tloc = loc } in
+  let check_args ptypes targs =
+    if List.length ptypes <> List.length targs then
+      errf loc "wrong number of arguments (expected %d, got %d)"
+        (List.length ptypes) (List.length targs);
+    List.iter2
+      (fun pt ta ->
+        if not (assignable ~dst:pt ~src_e:ta) then
+          errf loc "argument of type %s where %s expected"
+            (Ctype.to_string ta.ty) (Ctype.to_string pt))
+      ptypes targs
+  in
+  let targs = List.map (fun a -> rvalue ctx a) args in
+  match callee.Ast.e with
+  | Ast.Var name when lookup_local ctx name = None -> (
+    match Hashtbl.find_opt ctx.globals name with
+    | Some (Gfun (Ctype.Func (ret, ptypes)))
+    | Some (Gext (Ctype.Func (ret, ptypes))) ->
+      check_args ptypes targs;
+      mk (Tcall (name, targs)) ret
+    | Some (Gvar (Ctype.Ptr (Ctype.Func (ret, ptypes)))) ->
+      check_args ptypes targs;
+      let fp = mk (Tglobal name) (Ctype.Ptr (Ctype.Func (ret, ptypes))) in
+      mk (Tcall_ptr (fp, targs)) ret
+    | Some _ -> errf loc "'%s' is not a function" name
+    | None -> errf loc "call to undefined function '%s'" name)
+  | _ -> (
+    let tc = rvalue ctx callee in
+    match tc.ty with
+    | Ctype.Ptr (Ctype.Func (ret, ptypes)) ->
+      check_args ptypes targs;
+      mk (Tcall_ptr (tc, targs)) ret
+    | t -> errf loc "called object has type %s" (Ctype.to_string t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let in_loop ctx f =
+  ctx.loop_depth <- ctx.loop_depth + 1;
+  ctx.break_depth <- ctx.break_depth + 1;
+  let r = f () in
+  ctx.loop_depth <- ctx.loop_depth - 1;
+  ctx.break_depth <- ctx.break_depth - 1;
+  r
+
+let check_cond ctx e =
+  let te = rvalue ctx e in
+  if not (Ctype.is_scalar te.ty) then
+    errf te.tloc "condition must be a scalar";
+  te
+
+let rec check_stmt ctx (s : Ast.stmt) : tstmt =
+  let loc = s.Ast.sloc in
+  match s.Ast.s with
+  | Ast.Sexpr e -> Tsexpr (check_expr ctx e)
+  | Ast.Sdecl (ty, name, init) ->
+    (match ty with
+    | Ctype.Void -> errf loc "cannot declare a void variable"
+    | Ctype.Func _ -> errf loc "local functions are not supported"
+    | _ -> ());
+    let tinit =
+      match init with
+      | None -> None
+      | Some (Ast.Iexpr e) ->
+        let te = rvalue ctx e in
+        if not (assignable ~dst:(Ctype.decays_to ty) ~src_e:te) then
+          errf loc "initializer type mismatch for '%s'" name;
+        Some (Ti_expr te)
+      | Some (Ast.Ilist es) -> (
+        match ty with
+        | Ctype.Array (elem, n) ->
+          if List.length es > n then errf loc "too many initializers";
+          let tes =
+            List.map
+              (fun e ->
+                let te = rvalue ctx e in
+                if not (assignable ~dst:elem ~src_e:te) then
+                  errf loc "array initializer type mismatch";
+                te)
+              es
+          in
+          Some (Ti_list tes)
+        | _ -> errf loc "brace initializer needs an array")
+      | Some (Ast.Istr str) -> (
+        match ty with
+        | Ctype.Array (Ctype.Char, n) ->
+          if String.length str + 1 > n then errf loc "string too long";
+          Some (Ti_str str)
+        | Ctype.Ptr Ctype.Char ->
+          Some
+            (Ti_expr { te = Tstr str; ty = Ctype.Ptr Ctype.Char; tloc = loc })
+        | _ -> errf loc "string initializer needs char[] or char*")
+    in
+    let unique = declare_local ctx loc name ty in
+    Tsdecl (unique, ty, tinit)
+  | Ast.Sif (c, t, e) ->
+    let tc = check_cond ctx c in
+    Tsif (tc, check_block ctx t, check_block ctx e)
+  | Ast.Swhile (c, body) ->
+    let tc = check_cond ctx c in
+    Tswhile (tc, in_loop ctx (fun () -> check_block ctx body))
+  | Ast.Sdo_while (body, c) ->
+    let tbody = in_loop ctx (fun () -> check_block ctx body) in
+    Tsdo_while (tbody, check_cond ctx c)
+  | Ast.Sfor (init, cond, step, body) ->
+    push_scope ctx;
+    let tinit = Option.map (fun s -> check_stmt ctx s) init in
+    let tcond = Option.map (fun c -> check_cond ctx c) cond in
+    let tstep = Option.map (fun e -> check_expr ctx e) step in
+    let tbody =
+      in_loop ctx (fun () -> List.map (fun s -> check_stmt ctx s) body)
+    in
+    pop_scope ctx;
+    Tsfor (tinit, tcond, tstep, tbody)
+  | Ast.Sreturn e -> (
+    match (e, ctx.ret_type) with
+    | None, Ctype.Void -> Tsreturn None
+    | None, t -> errf loc "return needs a value of type %s" (Ctype.to_string t)
+    | Some _, Ctype.Void -> errf loc "void function returns a value"
+    | Some e, ret ->
+      let te = rvalue ctx e in
+      if not (assignable ~dst:ret ~src_e:te) then
+        errf loc "return type mismatch: %s vs %s" (Ctype.to_string te.ty)
+          (Ctype.to_string ret);
+      Tsreturn (Some te))
+  | Ast.Sbreak ->
+    if ctx.break_depth = 0 then
+      errf loc "'break' outside of a loop or switch";
+    Tsbreak
+  | Ast.Scontinue ->
+    if ctx.loop_depth = 0 then errf loc "'continue' outside of a loop";
+    Tscontinue
+  | Ast.Sswitch (e, cases, default) ->
+    let te = rvalue ctx e in
+    if not (Ctype.is_integer te.ty) then errf loc "switch needs an integer";
+    let seen = Hashtbl.create 8 in
+    ctx.break_depth <- ctx.break_depth + 1;
+    let tcases =
+      List.map
+        (fun (v, body) ->
+          if Hashtbl.mem seen v then errf loc "duplicate case %d" v;
+          Hashtbl.add seen v ();
+          (v, check_block ctx body))
+        cases
+    in
+    let tdefault = Option.map (check_block ctx) default in
+    ctx.break_depth <- ctx.break_depth - 1;
+    Tsswitch (te, tcases, tdefault)
+  | Ast.Sblock body -> Tsblock (check_block ctx body)
+
+and check_block ctx stmts =
+  push_scope ctx;
+  let r = List.map (fun s -> check_stmt ctx s) stmts in
+  pop_scope ctx;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Program *)
+
+let check ~externals (prog : Ast.program) : program =
+  let struct_env = Ctype.create_env () in
+  let globals = Hashtbl.create 64 in
+  List.iter
+    (fun (name, ty) ->
+      match ty with
+      | Ctype.Func _ -> Hashtbl.replace globals name (Gext ty)
+      | _ -> invalid_arg "externals must be function types")
+    externals;
+  (* First pass: declare structs, globals and function signatures. *)
+  List.iter
+    (function
+      | Ast.Dstruct (name, fields, loc) -> (
+        try Ctype.define_struct struct_env name fields
+        with Invalid_argument m -> errf loc "%s" m)
+      | Ast.Dglobal g ->
+        if Hashtbl.mem globals g.Ast.gname then
+          errf g.Ast.gloc "redefinition of '%s'" g.Ast.gname;
+        (match g.Ast.gtype with
+        | Ctype.Void | Ctype.Func _ ->
+          errf g.Ast.gloc "invalid global variable type"
+        | _ -> ());
+        Hashtbl.add globals g.Ast.gname (Gvar g.Ast.gtype)
+      | Ast.Dfunc f ->
+        if Hashtbl.mem globals f.Ast.fname then
+          errf f.Ast.floc "redefinition of '%s'" f.Ast.fname;
+        let ty = Ctype.Func (f.Ast.fret, List.map snd f.Ast.fparams) in
+        Hashtbl.add globals f.Ast.fname (Gfun ty))
+    prog;
+  let ctx =
+    { struct_env; globals; scopes = []; counter = 0; ret_type = Ctype.Void;
+      loop_depth = 0; break_depth = 0 }
+  in
+  (* Second pass: check bodies and global initializers. *)
+  let tglobals = ref [] and tfuncs = ref [] in
+  List.iter
+    (function
+      | Ast.Dstruct _ -> ()
+      | Ast.Dglobal g ->
+        let tinit =
+          match g.Ast.ginit with
+          | None -> None
+          | Some (Ast.Iexpr e) ->
+            ctx.scopes <- [ [] ];
+            let te = rvalue ctx e in
+            ctx.scopes <- [];
+            Some (Ti_expr te)
+          | Some (Ast.Ilist es) ->
+            ctx.scopes <- [ [] ];
+            let tes = List.map (fun e -> rvalue ctx e) es in
+            ctx.scopes <- [];
+            Some (Ti_list tes)
+          | Some (Ast.Istr s) -> Some (Ti_str s)
+        in
+        tglobals :=
+          { tgname = g.Ast.gname; tgtype = g.Ast.gtype; tginit = tinit;
+            tgconst = g.Ast.gconst }
+          :: !tglobals
+      | Ast.Dfunc f ->
+        ctx.ret_type <- f.Ast.fret;
+        ctx.scopes <- [ [] ];
+        let tparams =
+          List.map
+            (fun (name, ty) ->
+              let unique = declare_local ctx f.Ast.floc name ty in
+              (unique, ty))
+            f.Ast.fparams
+        in
+        let tbody = check_block ctx f.Ast.fbody in
+        ctx.scopes <- [];
+        tfuncs :=
+          { tfname = f.Ast.fname; tfret = f.Ast.fret; tfparams = tparams;
+            tfbody = tbody; tfloc = f.Ast.floc }
+          :: !tfuncs)
+    prog;
+  { struct_env; globals = List.rev !tglobals; funcs = List.rev !tfuncs }

@@ -1,0 +1,12 @@
+(** Type checker: resolves names, checks every expression, renames
+    locals to unique names, and produces the typed AST consumed by the
+    code generator, the feature checker and the profiler.
+
+    [externals] declares functions implemented outside the compilation
+    unit — the OS API (e.g. [api_read_accel]) and the compiler runtime
+    builtins ([__halt], [__putc], [__timer_read], ...).  Calls to
+    anything else must target a function defined in the unit. *)
+
+val check :
+  externals:(string * Ctype.t) list -> Ast.program -> Tast.program
+(** @raise Srcloc.Error on any type or name error. *)

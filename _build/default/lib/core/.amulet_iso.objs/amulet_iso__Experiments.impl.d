@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Amulet_aft Amulet_apps Amulet_arp Amulet_cc Amulet_os List

@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Amulet_apps Amulet_cc Amulet_os

@@ -1,0 +1,1 @@
+lib/link/asm.ml: Amulet_mcu Format String

@@ -1,0 +1,1 @@
+lib/link/asm.mli: Amulet_mcu Format

@@ -1,0 +1,1 @@
+lib/link/assembler.ml: Amulet_mcu Array Asm Bytes Char Format Hashtbl List Printf String

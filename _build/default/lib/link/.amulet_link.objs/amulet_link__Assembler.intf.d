@@ -1,0 +1,1 @@
+lib/link/assembler.mli: Asm Bytes

@@ -1,0 +1,1 @@
+lib/link/image.ml: Amulet_mcu Bytes Format List

@@ -1,0 +1,1 @@
+lib/link/image.mli: Amulet_mcu Bytes Format

@@ -1,0 +1,1 @@
+lib/link/linker.ml: Asm Assembler Bytes Format Hashtbl Image List

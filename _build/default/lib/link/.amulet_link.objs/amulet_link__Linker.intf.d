@@ -1,0 +1,1 @@
+lib/link/linker.mli: Asm Image

@@ -1,0 +1,206 @@
+module O = Amulet_mcu.Opcode
+module W = Amulet_mcu.Word
+module E = Amulet_mcu.Encode
+
+exception Error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let expr_is_symbolic = function
+  | Asm.Num _ -> false
+  | Asm.Sym _ | Asm.Off _ -> true
+
+(* Size computation: a placeholder value is used for symbolic
+   expressions; `no_cg_imm` guarantees the size does not depend on the
+   placeholder. *)
+let lower_src_for_size = function
+  | Asm.Sreg r -> (O.S_reg r, false)
+  | Asm.Sidx (r, _) -> (O.S_indexed (r, 0x7EAD), false)
+  | Asm.Sabs _ -> (O.S_absolute 0x7EAD, false)
+  | Asm.Sind r -> (O.S_indirect r, false)
+  | Asm.Sinc r -> (O.S_indirect_inc r, false)
+  | Asm.Simm (Asm.Num n) -> (O.S_immediate n, false)
+  | Asm.Simm _ -> (O.S_immediate 0x7EAD, true)
+
+let lower_dst_for_size = function
+  | Asm.Dreg r -> O.D_reg r
+  | Asm.Didx (r, _) -> O.D_indexed (r, 0x7EAD)
+  | Asm.Dabs _ -> O.D_absolute 0x7EAD
+
+let insn_size = function
+  | Asm.I1 (op, w, s, d) ->
+    let s', no_cg = lower_src_for_size s in
+    E.length_bytes ~no_cg_imm:no_cg (O.Fmt1 (op, w, s', lower_dst_for_size d))
+  | Asm.I2 (op, w, s) ->
+    let s', no_cg = lower_src_for_size s in
+    E.length_bytes ~no_cg_imm:no_cg (O.Fmt2 (op, w, s'))
+  | Asm.Ijmp _ -> 2
+  | Asm.Ireti -> 2
+
+let item_size offset = function
+  | Asm.Ins i -> insn_size i
+  | Asm.Label _ | Asm.Comment _ -> 0
+  | Asm.Dword _ -> 2
+  | Asm.Dbytes s -> String.length s
+  | Asm.Space n -> n
+  | Asm.Align2 -> offset land 1
+
+let fold_offsets f init items =
+  let _, acc =
+    List.fold_left
+      (fun (offset, acc) item ->
+        let acc = f offset acc item in
+        (offset + item_size offset item, acc))
+      (0, init) items
+  in
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Jump relaxation.
+
+   Format-III jumps reach only +/-512 words.  Compiler-generated
+   branches target labels in the same section; when one is out of
+   range we rewrite it:
+
+     JMP l                          BR #l
+     Jcc l     becomes     Jcc m; JMP s; m: BR #l; s:
+
+   (the generic pattern needs no condition inversion, so it also
+   covers JN, which has no complement).  Sizing iterates to a fixpoint
+   since lengthening one jump can push another out of range.  The
+   rewrite is deterministic, so [size], [local_labels] and [emit] stay
+   consistent by each relaxing first. *)
+
+let long_jmp_bytes = 4 (* MOV #addr, PC *)
+let long_jcc_bytes = 8 (* Jcc m; JMP s; m: BR #l *)
+
+let relax items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let is_long = Array.make n false in
+  let size_of i offset =
+    match arr.(i) with
+    | Asm.Ins (Asm.Ijmp (cond, _)) when is_long.(i) ->
+      if cond = Amulet_mcu.Opcode.JMP then long_jmp_bytes else long_jcc_bytes
+    | item -> item_size offset item
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* offsets and label table under the current long set *)
+    let offsets = Array.make (n + 1) 0 in
+    let labels = Hashtbl.create 64 in
+    for i = 0 to n - 1 do
+      (match arr.(i) with
+      | Asm.Label l -> Hashtbl.replace labels l offsets.(i)
+      | _ -> ());
+      offsets.(i + 1) <- offsets.(i) + size_of i offsets.(i)
+    done;
+    for i = 0 to n - 1 do
+      match arr.(i) with
+      | Asm.Ins (Asm.Ijmp (_, l)) when not is_long.(i) -> (
+        match Hashtbl.find_opt labels l with
+        | None ->
+          (* target in another section: must use the long form *)
+          is_long.(i) <- true;
+          changed := true
+        | Some target ->
+          let delta = target - (offsets.(i) + 2) in
+          if delta < -1024 || delta > 1022 then begin
+            is_long.(i) <- true;
+            changed := true
+          end)
+      | _ -> ()
+    done
+  done;
+  if Array.exists (fun b -> b) is_long then
+    List.concat
+      (List.mapi
+         (fun i item ->
+           match item with
+           | Asm.Ins (Asm.Ijmp (cond, l)) when is_long.(i) ->
+             if cond = Amulet_mcu.Opcode.JMP then [ Asm.br (Asm.Sym l) ]
+             else
+               let mid = Printf.sprintf "%s$$rx%dm" l i in
+               let skip = Printf.sprintf "%s$$rx%ds" l i in
+               [
+                 Asm.Ins (Asm.Ijmp (cond, mid));
+                 Asm.Ins (Asm.Ijmp (Amulet_mcu.Opcode.JMP, skip));
+                 Asm.Label mid;
+                 Asm.br (Asm.Sym l);
+                 Asm.Label skip;
+               ]
+           | item -> [ item ])
+         items)
+  else items
+
+let size items =
+  let items = relax items in
+  List.fold_left (fun offset item -> offset + item_size offset item) 0 items
+
+let local_labels items =
+  let items = relax items in
+  let labels =
+    fold_offsets
+      (fun offset acc item ->
+        match item with
+        | Asm.Label l ->
+          if List.mem_assoc l acc then errf "duplicate label %s" l
+          else (l, offset) :: acc
+        | _ -> acc)
+      [] items
+  in
+  List.rev labels
+
+let eval resolve = function
+  | Asm.Num n -> n
+  | Asm.Sym s -> resolve s
+  | Asm.Off (s, n) -> resolve s + n
+
+let lower_src resolve = function
+  | Asm.Sreg r -> (O.S_reg r, false)
+  | Asm.Sidx (r, e) -> (O.S_indexed (r, eval resolve e), false)
+  | Asm.Sabs e -> (O.S_absolute (eval resolve e land 0xFFFF), false)
+  | Asm.Sind r -> (O.S_indirect r, false)
+  | Asm.Sinc r -> (O.S_indirect_inc r, false)
+  | Asm.Simm e -> (O.S_immediate (eval resolve e land 0xFFFF), expr_is_symbolic e)
+
+let lower_dst resolve = function
+  | Asm.Dreg r -> O.D_reg r
+  | Asm.Didx (r, e) -> O.D_indexed (r, eval resolve e)
+  | Asm.Dabs e -> O.D_absolute (eval resolve e land 0xFFFF)
+
+let emit ~base ~resolve items =
+  let items = relax items in
+  let buf = Bytes.make (size items) '\000' in
+  let put_word offset w =
+    Bytes.set buf offset (Char.chr (w land 0xFF));
+    Bytes.set buf (offset + 1) (Char.chr ((w lsr 8) land 0xFF))
+  in
+  let put_words offset ws = List.iteri (fun i w -> put_word (offset + (2 * i)) w) ws in
+  let emit_insn offset = function
+    | Asm.I1 (op, w, s, d) ->
+      let s', no_cg = lower_src resolve s in
+      put_words offset (E.encode ~no_cg_imm:no_cg (O.Fmt1 (op, w, s', lower_dst resolve d)))
+    | Asm.I2 (op, w, s) ->
+      let s', no_cg = lower_src resolve s in
+      put_words offset (E.encode ~no_cg_imm:no_cg (O.Fmt2 (op, w, s')))
+    | Asm.Ijmp (c, l) ->
+      let target = resolve l in
+      let here = base + offset in
+      let delta = target - (here + 2) in
+      if delta land 1 <> 0 then errf "odd jump displacement to %s" l;
+      let words = delta asr 1 in
+      if words < -512 || words > 511 then
+        errf "jump to %s out of range (%d words)" l words;
+      put_words offset (E.encode (O.Jump (c, words)))
+    | Asm.Ireti -> put_words offset (E.encode O.Reti)
+  in
+  let emit_item offset = function
+    | Asm.Ins i -> emit_insn offset i
+    | Asm.Label _ | Asm.Comment _ | Asm.Align2 | Asm.Space _ -> ()
+    | Asm.Dword e -> put_word offset (eval resolve e land 0xFFFF)
+    | Asm.Dbytes s -> Bytes.blit_string s 0 buf offset (String.length s)
+  in
+  fold_offsets (fun offset () item -> emit_item offset item) () items;
+  buf

@@ -1,0 +1,29 @@
+(** Two-pass assembler for one section.
+
+    Pass 1 ({!size} / {!local_labels}) computes item offsets without
+    resolving symbols: operand sizes depend only on addressing modes,
+    and immediates holding symbols are always given an extension word.
+    Pass 2 ({!emit}) lowers to machine words once every symbol has an
+    address.
+
+    Conditional and unconditional jumps whose in-section target is
+    beyond the format-III +/-512-word range are relaxed automatically
+    to long forms ([BR #addr], or a short hop over a [BR]); sizing
+    iterates to a fixpoint, and all entry points observe the same
+    relaxed layout. *)
+
+exception Error of string
+
+val size : Asm.item list -> int
+(** Section size in bytes. *)
+
+val local_labels : Asm.item list -> (string * int) list
+(** Offsets of the labels defined in the section.
+    @raise Error on duplicate labels within the section. *)
+
+val emit :
+  base:int -> resolve:(string -> int) -> Asm.item list -> Bytes.t
+(** Binary for a section placed at [base].  [resolve] maps any symbol
+    (local or global) to its absolute address.
+    @raise Error on out-of-range jumps or undefined symbols
+    (propagated as [Error] with the symbol name). *)

@@ -1,0 +1,22 @@
+type t = {
+  chunks : (int * Bytes.t) list;
+  symbols : (string * int) list;
+  entry : int;
+}
+
+let symbol t name = List.assoc name t.symbols
+let has_symbol t name = List.mem_assoc name t.symbols
+
+let load t machine =
+  List.iter
+    (fun (addr, data) -> Amulet_mcu.Machine.load_bytes machine ~addr data)
+    t.chunks;
+  Amulet_mcu.Machine.set_reset_vector machine t.entry
+
+let total_bytes t =
+  List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.chunks
+
+let pp_symbols ppf t =
+  List.iter
+    (fun (name, addr) -> Format.fprintf ppf "%04X %s@." addr name)
+    (List.sort (fun (_, a) (_, b) -> compare a b) t.symbols)

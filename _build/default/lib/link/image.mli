@@ -1,0 +1,20 @@
+(** Linked firmware image: binary chunks, symbol table, entry point. *)
+
+type t = {
+  chunks : (int * Bytes.t) list;  (** (base address, contents) *)
+  symbols : (string * int) list;
+  entry : int;
+}
+
+val symbol : t -> string -> int
+(** @raise Not_found when the symbol is undefined. *)
+
+val has_symbol : t -> string -> bool
+
+val load : t -> Amulet_mcu.Machine.t -> unit
+(** Blit all chunks into machine memory and point the reset vector at
+    the entry symbol.  Does not reset the machine. *)
+
+val total_bytes : t -> int
+
+val pp_symbols : Format.formatter -> t -> unit

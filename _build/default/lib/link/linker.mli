@@ -1,0 +1,18 @@
+(** Linker: places sections, builds the global symbol table, resolves
+    and emits the firmware image.
+
+    Every section automatically defines [<name>__start] and
+    [<name>__end] symbols — the AFT uses these as the app boundary
+    constants that phase 4 patches into the compiler-inserted checks. *)
+
+exception Error of string
+
+type placed_section = { name : string; base : int; items : Asm.item list }
+
+val link :
+  ?extra_symbols:(string * int) list ->
+  entry:string ->
+  placed_section list ->
+  Image.t
+(** @raise Error on duplicate or undefined symbols, overlapping
+    sections, or jump-range failures. *)

@@ -1,0 +1,1 @@
+lib/mcu/alu.ml: Opcode Word

@@ -1,0 +1,1 @@
+lib/mcu/alu.mli: Opcode Word

@@ -1,0 +1,1 @@
+lib/mcu/cpu.ml: Alu Cycles Decode Encode Opcode Registers Word

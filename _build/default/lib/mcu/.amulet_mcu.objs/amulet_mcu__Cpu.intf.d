@@ -1,0 +1,1 @@
+lib/mcu/cpu.mli: Opcode Registers Word

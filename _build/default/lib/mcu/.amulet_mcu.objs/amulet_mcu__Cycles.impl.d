@@ -1,0 +1,1 @@
+lib/mcu/cycles.ml: Opcode Word

@@ -1,0 +1,1 @@
+lib/mcu/decode.ml: Array Opcode Word

@@ -1,0 +1,1 @@
+lib/mcu/decode.mli: Opcode

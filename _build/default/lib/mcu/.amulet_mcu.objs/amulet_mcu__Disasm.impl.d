@@ -1,0 +1,1 @@
+lib/mcu/disasm.ml: Decode Format List Opcode Printf String

@@ -1,0 +1,1 @@
+lib/mcu/disasm.mli: Format

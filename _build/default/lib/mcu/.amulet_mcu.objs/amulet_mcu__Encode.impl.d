@@ -1,0 +1,1 @@
+lib/mcu/encode.ml: List Opcode Option Word

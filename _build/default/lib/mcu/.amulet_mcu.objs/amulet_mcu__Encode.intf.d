@@ -1,0 +1,1 @@
+lib/mcu/encode.mli: Opcode Word

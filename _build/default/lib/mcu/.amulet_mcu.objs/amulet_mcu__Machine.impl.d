@@ -1,0 +1,1 @@
+lib/mcu/machine.ml: Buffer Char Cpu Decode Format Memory Memory_map Mpu Registers Timer Trace Word

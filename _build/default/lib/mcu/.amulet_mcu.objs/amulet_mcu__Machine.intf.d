@@ -1,0 +1,1 @@
+lib/mcu/machine.mli: Buffer Cpu Format Memory Mpu Opcode Registers Timer Trace Word

@@ -1,0 +1,1 @@
+lib/mcu/memory.ml: Bytes Char List Memory_map Word

@@ -1,0 +1,1 @@
+lib/mcu/memory_map.ml:

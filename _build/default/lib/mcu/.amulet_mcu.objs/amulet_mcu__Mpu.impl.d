@@ -1,0 +1,1 @@
+lib/mcu/mpu.ml: Format Memory_map String

@@ -1,0 +1,1 @@
+lib/mcu/mpu.mli: Format

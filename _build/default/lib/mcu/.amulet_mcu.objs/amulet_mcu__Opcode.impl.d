@@ -1,0 +1,1 @@
+lib/mcu/opcode.ml: Format Word

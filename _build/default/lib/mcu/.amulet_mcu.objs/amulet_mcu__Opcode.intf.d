@@ -1,0 +1,1 @@
+lib/mcu/opcode.mli: Format Word

@@ -1,0 +1,1 @@
+lib/mcu/registers.ml: Array Format Word

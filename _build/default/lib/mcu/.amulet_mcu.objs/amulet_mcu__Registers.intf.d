@@ -1,0 +1,1 @@
+lib/mcu/registers.mli: Format Word

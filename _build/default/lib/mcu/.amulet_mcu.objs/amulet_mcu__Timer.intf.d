@@ -1,0 +1,1 @@
+lib/mcu/timer.mli:

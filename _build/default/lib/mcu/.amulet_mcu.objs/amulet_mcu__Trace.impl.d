@@ -1,0 +1,1 @@
+lib/mcu/trace.ml: Array Format List Opcode Word

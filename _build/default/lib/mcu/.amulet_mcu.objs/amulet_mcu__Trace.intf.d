@@ -1,0 +1,1 @@
+lib/mcu/trace.mli: Format Opcode Word

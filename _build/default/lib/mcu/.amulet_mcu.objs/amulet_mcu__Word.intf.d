@@ -1,0 +1,1 @@
+lib/mcu/word.mli:

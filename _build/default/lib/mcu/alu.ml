@@ -1,0 +1,80 @@
+type flags = { c : bool; z : bool; n : bool; v : bool }
+
+let logic_flags width ?(v = false) value =
+  {
+    c = Word.norm width value <> 0;
+    z = Word.norm width value = 0;
+    n = Word.is_negative width value;
+    v;
+  }
+
+let arith_flags width (r : Word.flags) =
+  {
+    c = r.Word.carry;
+    z = Word.norm width r.Word.value = 0;
+    n = Word.is_negative width r.Word.value;
+    v = r.Word.overflow;
+  }
+
+let fmt1 op width ~carry_in ~src ~dst =
+  let src = Word.norm width src and dst = Word.norm width dst in
+  match op with
+  | Opcode.MOV -> (src, None)
+  | Opcode.ADD ->
+    let r = Word.add width dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.ADDC ->
+    let r = Word.add width ~carry_in dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.SUB ->
+    let r = Word.sub width dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.SUBC ->
+    let r = Word.sub width ~borrow_in:(not carry_in) dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.CMP ->
+    let r = Word.sub width dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.DADD ->
+    let r = Word.dadd width ~carry_in dst src in
+    (r.Word.value, Some (arith_flags width r))
+  | Opcode.BIT ->
+    let v = src land dst in
+    (v, Some (logic_flags width v))
+  | Opcode.AND ->
+    let v = src land dst in
+    (v, Some (logic_flags width v))
+  | Opcode.XOR ->
+    let v = src lxor dst in
+    let overflow = Word.is_negative width src && Word.is_negative width dst in
+    (v, Some (logic_flags width ~v:overflow v))
+  | Opcode.BIC -> (dst land lnot src land Word.mask width, None)
+  | Opcode.BIS -> (dst lor src, None)
+
+let rrc width ~carry_in v =
+  let v = Word.norm width v in
+  let out_carry = v land 1 <> 0 in
+  let value = (v lsr 1) lor (if carry_in then Word.sign_bit width else 0) in
+  ( value,
+    {
+      c = out_carry;
+      z = value = 0;
+      n = Word.is_negative width value;
+      v = false;
+    } )
+
+let rra width v =
+  let v = Word.norm width v in
+  let out_carry = v land 1 <> 0 in
+  let value = (v lsr 1) lor (v land Word.sign_bit width) in
+  ( value,
+    {
+      c = out_carry;
+      z = value = 0;
+      n = Word.is_negative width value;
+      v = false;
+    } )
+
+let sxt v =
+  let value = Word.sign_extend_byte v in
+  (value, { c = value <> 0; z = value = 0; n = value land 0x8000 <> 0; v = false })

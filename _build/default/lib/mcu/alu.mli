@@ -1,0 +1,20 @@
+(** Arithmetic/logic core with MSP430 flag semantics. *)
+
+type flags = { c : bool; z : bool; n : bool; v : bool }
+
+val fmt1 :
+  Opcode.op2 ->
+  Word.width ->
+  carry_in:bool ->
+  src:int ->
+  dst:int ->
+  int * flags option
+(** [fmt1 op w ~carry_in ~src ~dst] computes the result value and, for
+    flag-setting operations, the new C/Z/N/V flags.  [None] for MOV,
+    BIC and BIS.  The result must still be written back by the caller
+    unless {!Opcode.writes_back} is false. *)
+
+val rrc : Word.width -> carry_in:bool -> int -> int * flags
+val rra : Word.width -> int -> int * flags
+val sxt : int -> int * flags
+(** SXT is word-only: sign-extends bits 7..0 into 16 bits. *)

@@ -1,0 +1,32 @@
+(** Fetch-decode-execute engine.
+
+    The CPU owns the register file and an instruction/cycle budget; it
+    talks to the rest of the machine through a {!bus}, which is where
+    MPU checks, MMIO dispatch and tracing are implemented (see
+    {!Machine}).  Bus functions may raise; the exception aborts the
+    current instruction and propagates out of {!step}. *)
+
+(** Why the CPU is touching memory. *)
+type access = Afetch | Aread
+
+type bus = {
+  read : access -> Word.width -> int -> int;
+  write : Word.width -> int -> int -> unit;
+}
+
+type t = {
+  regs : Registers.t;
+  bus : bus;
+  mutable cycles : int;  (** total cycles executed *)
+  mutable insns : int;  (** total instructions retired *)
+}
+
+val create : bus -> t
+
+val step : t -> Opcode.t
+(** Execute one instruction; returns it (for tracing).  Raises
+    whatever the bus raises on a faulting access, and
+    {!Decode.Illegal} on an undecodable word. *)
+
+val call_depth_hint : t -> int
+(** Stack pointer value, useful to assert stack discipline in tests. *)

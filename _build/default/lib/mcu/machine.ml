@@ -1,0 +1,207 @@
+type fault =
+  | Mpu_violation of {
+      access : Mpu.access;
+      addr : int;
+      pc : int;
+      segment : Mpu.segment;
+    }
+  | Mpu_bad_password of { addr : int; pc : int }
+  | Unmapped of { addr : int; pc : int; write : bool }
+  | Illegal_instruction of { pc : int; word : int }
+
+exception Fault of fault
+
+let access_name = function
+  | Mpu.Exec -> "execute"
+  | Mpu.Dread -> "read"
+  | Mpu.Dwrite -> "write"
+
+let segment_name = function
+  | Mpu.Seg_info -> "info"
+  | Mpu.Seg1 -> "seg1"
+  | Mpu.Seg2 -> "seg2"
+  | Mpu.Seg3 -> "seg3"
+
+let pp_fault ppf = function
+  | Mpu_violation { access; addr; pc; segment } ->
+    Format.fprintf ppf "MPU violation: %s of %04X (%s) at pc=%04X"
+      (access_name access) addr (segment_name segment) pc
+  | Mpu_bad_password { addr; pc } ->
+    Format.fprintf ppf "MPU password violation on %04X at pc=%04X" addr pc
+  | Unmapped { addr; pc; write } ->
+    Format.fprintf ppf "unmapped %s of %04X at pc=%04X"
+      (if write then "write" else "read")
+      addr pc
+  | Illegal_instruction { pc; word } ->
+    Format.fprintf ppf "illegal instruction %04X at pc=%04X" word pc
+
+type stop_reason =
+  | Halted
+  | Faulted of fault
+  | Sw_fault of int
+  | Out_of_fuel
+
+let pp_stop_reason ppf = function
+  | Halted -> Format.fprintf ppf "halted"
+  | Faulted f -> Format.fprintf ppf "fault (%a)" pp_fault f
+  | Sw_fault c -> Format.fprintf ppf "software fault %d" c
+  | Out_of_fuel -> Format.fprintf ppf "out of fuel"
+
+type t = {
+  mem : Memory.t;
+  mpu : Mpu.t;
+  timer : Timer.t;
+  cpu : Cpu.t;
+  stats : Trace.stats;
+  console : Buffer.t;
+  mutable halted : bool;
+  mutable sw_fault : int option;
+  mutable host_call : t -> int -> unit;
+  mutable on_event : (Trace.event -> unit) option;
+  mutable extra_cycles : int;
+}
+
+let host_call_port = 0x01F0
+let console_port = 0x01F4
+let halt_port = 0x01F6
+let sw_fault_port = 0x01F8
+
+let cycles t = t.cpu.Cpu.cycles + t.extra_cycles
+let add_cycles t n = t.extra_cycles <- t.extra_cycles + n
+let regs t = t.cpu.Cpu.regs
+
+let emit t e = match t.on_event with None -> () | Some f -> f e
+
+let pc_of t = Registers.get_pc t.cpu.Cpu.regs
+
+let peripheral_read t width addr =
+  let v =
+    if Mpu.handles addr then Mpu.mmio_read t.mpu addr
+    else if Timer.handles addr then
+      Timer.mmio_read t.timer ~now:(cycles t) addr
+    else 0
+  in
+  Word.norm width v
+
+let peripheral_write t width addr v =
+  let v = Word.norm width v in
+  emit t (Trace.Io_write { addr; value = v });
+  if Mpu.handles addr then begin
+    match Mpu.mmio_write t.mpu addr v with
+    | Mpu.Write_ok | Mpu.Locked_ignored -> ()
+    | Mpu.Bad_password ->
+      raise (Fault (Mpu_bad_password { addr; pc = pc_of t }))
+  end
+  else if Timer.handles addr then Timer.mmio_write t.timer ~now:(cycles t) addr v
+  else if addr = host_call_port then t.host_call t v
+  else if addr = console_port then Buffer.add_char t.console (Char.chr (v land 0xFF))
+  else if addr = halt_port then t.halted <- true
+  else if addr = sw_fault_port then t.sw_fault <- Some v
+
+let mpu_check t access addr =
+  match Mpu.check t.mpu access addr with
+  | Mpu.Allowed -> ()
+  | Mpu.Violation segment ->
+    raise (Fault (Mpu_violation { access; addr; pc = pc_of t; segment }))
+
+let bus_read t (kind : Cpu.access) width addr =
+  let addr = addr land 0xFFFF in
+  match Memory_map.region_of_addr addr with
+  | Memory_map.Peripherals -> peripheral_read t width addr
+  | Memory_map.Unmapped ->
+    raise (Fault (Unmapped { addr; pc = pc_of t; write = false }))
+  | Memory_map.Fram | Memory_map.Info_mem | Memory_map.Sram
+  | Memory_map.Vectors | Memory_map.Bootstrap ->
+    let access =
+      match kind with Cpu.Afetch -> Mpu.Exec | Cpu.Aread -> Mpu.Dread
+    in
+    mpu_check t access addr;
+    let value = Memory.read t.mem width addr in
+    (match kind with
+    | Cpu.Afetch -> t.stats.Trace.fetch_words <- t.stats.Trace.fetch_words + 1
+    | Cpu.Aread ->
+      t.stats.Trace.data_reads <- t.stats.Trace.data_reads + 1;
+      emit t (Trace.Mem_read { addr; width; value; pc = pc_of t }));
+    value
+
+let bus_write t width addr v =
+  let addr = addr land 0xFFFF in
+  match Memory_map.region_of_addr addr with
+  | Memory_map.Peripherals -> peripheral_write t width addr v
+  | Memory_map.Unmapped ->
+    raise (Fault (Unmapped { addr; pc = pc_of t; write = true }))
+  | Memory_map.Fram | Memory_map.Info_mem | Memory_map.Sram
+  | Memory_map.Vectors | Memory_map.Bootstrap ->
+    mpu_check t Mpu.Dwrite addr;
+    Memory.write t.mem width addr v;
+    t.stats.Trace.data_writes <- t.stats.Trace.data_writes + 1;
+    emit t (Trace.Mem_write { addr; width; value = Word.norm width v; pc = pc_of t })
+
+let create () =
+  let self = ref None in
+  let me () = match !self with Some t -> t | None -> assert false in
+  let bus =
+    {
+      Cpu.read = (fun k w a -> bus_read (me ()) k w a);
+      Cpu.write = (fun w a v -> bus_write (me ()) w a v);
+    }
+  in
+  let t =
+    {
+      mem = Memory.create ();
+      mpu = Mpu.create ();
+      timer = Timer.create ();
+      cpu = Cpu.create bus;
+      stats = Trace.create_stats ();
+      console = Buffer.create 64;
+      halted = false;
+      sw_fault = None;
+      host_call = (fun _ _ -> ());
+      on_event = None;
+      extra_cycles = 0;
+    }
+  in
+  self := Some t;
+  t
+
+let load_words t ~addr words = Memory.blit_words t.mem ~addr words
+let load_bytes t ~addr b = Memory.blit t.mem ~addr b
+
+let set_reset_vector t entry =
+  Memory.write_word t.mem Memory_map.reset_vector entry
+
+let reset t =
+  t.halted <- false;
+  t.sw_fault <- None;
+  Registers.set_pc (regs t) (Memory.read_word t.mem Memory_map.reset_vector);
+  Registers.set_sp (regs t) Memory_map.sram_limit
+
+let step t =
+  let pc0 = pc_of t in
+  try
+    let i = Cpu.step t.cpu in
+    emit t (Trace.Exec { pc = pc0; instr = i });
+    Ok i
+  with
+  | Fault f -> Error f
+  | Decode.Illegal word -> Error (Illegal_instruction { pc = pc0; word })
+
+let run ?(fuel = 10_000_000) t =
+  let rec loop budget =
+    if t.halted then Halted
+    else
+      match t.sw_fault with
+      | Some code -> Sw_fault code
+      | None ->
+        if budget = 0 then Out_of_fuel
+        else begin
+          match step t with
+          | Ok _ -> loop (budget - 1)
+          | Error f -> Faulted f
+        end
+  in
+  loop fuel
+
+let mem_checked_read t width addr = Memory.read t.mem width addr
+let mem_checked_write t width addr v = Memory.write t.mem width addr v
+let console_contents t = Buffer.contents t.console

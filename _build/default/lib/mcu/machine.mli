@@ -1,0 +1,93 @@
+(** The whole simulated MCU: CPU + memory + MPU + timer + debug ports.
+
+    The machine implements the CPU bus: it dispatches MMIO in the
+    peripheral region, performs MPU permission checks on FRAM/InfoMem
+    accesses, raises {!Fault} on violations, and maintains access
+    statistics.
+
+    Debug "peripherals" (simulator devices, not real MSP430 hardware;
+    they stand in for the JTAG/console facilities of the real bench):
+
+    - [host_call_port] (0x01F0): writing a service number invokes the
+      registered host-service callback — the OS model's system-call
+      gate rear end;
+    - [console_port] (0x01F4): writing a byte appends to the console;
+    - [halt_port] (0x01F6): writing stops the machine;
+    - [sw_fault_port] (0x01F8): compiler-inserted bounds checks write a
+      fault code here (the paper's FAULT function). *)
+
+type fault =
+  | Mpu_violation of {
+      access : Mpu.access;
+      addr : int;
+      pc : int;
+      segment : Mpu.segment;
+    }
+  | Mpu_bad_password of { addr : int; pc : int }
+  | Unmapped of { addr : int; pc : int; write : bool }
+  | Illegal_instruction of { pc : int; word : int }
+
+exception Fault of fault
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type stop_reason =
+  | Halted  (** the program wrote to the halt port *)
+  | Faulted of fault
+  | Sw_fault of int  (** a compiler-inserted check fired *)
+  | Out_of_fuel
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+type t = {
+  mem : Memory.t;
+  mpu : Mpu.t;
+  timer : Timer.t;
+  cpu : Cpu.t;
+  stats : Trace.stats;
+  console : Buffer.t;
+  mutable halted : bool;
+  mutable sw_fault : int option;
+  mutable host_call : t -> int -> unit;
+  mutable on_event : (Trace.event -> unit) option;
+  mutable extra_cycles : int;
+      (** cycles charged by host services, included in {!cycles} *)
+}
+
+val host_call_port : int
+val console_port : int
+val halt_port : int
+val sw_fault_port : int
+
+val create : unit -> t
+
+val cycles : t -> int
+(** CPU cycles plus host-charged cycles. *)
+
+val add_cycles : t -> int -> unit
+(** Charge extra cycles (host services model their cost this way). *)
+
+val regs : t -> Registers.t
+
+val load_words : t -> addr:int -> int list -> unit
+val load_bytes : t -> addr:int -> bytes -> unit
+
+val set_reset_vector : t -> int -> unit
+val reset : t -> unit
+(** Load PC from the reset vector, SP from the top of SRAM, clear
+    halt/fault state.  Does not clear memory. *)
+
+val step : t -> (Opcode.t, fault) result
+(** One instruction; faults are caught and returned. *)
+
+val run : ?fuel:int -> t -> stop_reason
+(** Run until halt, fault, software fault, or [fuel] instructions
+    (default 10 million). *)
+
+val mem_checked_read : t -> Word.width -> int -> int
+(** Read memory the way the CPU would (without MPU checks) — for host
+    services and tests. *)
+
+val mem_checked_write : t -> Word.width -> int -> int -> unit
+
+val console_contents : t -> string

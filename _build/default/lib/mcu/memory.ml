@@ -1,0 +1,35 @@
+type t = Bytes.t
+
+let create () = Bytes.make Memory_map.address_space '\000'
+
+let read_byte t addr = Char.code (Bytes.get t (addr land 0xFFFF))
+
+let write_byte t addr v =
+  Bytes.set t (addr land 0xFFFF) (Char.chr (v land 0xFF))
+
+let read_word t addr =
+  let addr = addr land 0xFFFE in
+  read_byte t addr lor (read_byte t (addr + 1) lsl 8)
+
+let write_word t addr v =
+  let addr = addr land 0xFFFE in
+  write_byte t addr (v land 0xFF);
+  write_byte t (addr + 1) ((v lsr 8) land 0xFF)
+
+let read t width addr =
+  match width with Word.W8 -> read_byte t addr | Word.W16 -> read_word t addr
+
+let write t width addr v =
+  match width with
+  | Word.W8 -> write_byte t addr v
+  | Word.W16 -> write_word t addr v
+
+let blit t ~addr src = Bytes.blit src 0 t addr (Bytes.length src)
+
+let blit_words t ~addr words =
+  List.iteri (fun i w -> write_word t (addr + (2 * i)) w) words
+
+let fill t ~addr ~len ~value =
+  Bytes.fill t addr len (Char.chr (value land 0xFF))
+
+let copy = Bytes.copy

@@ -1,0 +1,31 @@
+(** Flat 64 KiB backing store for the simulated address space.
+
+    This module is a raw byte store: permission checks, MMIO dispatch
+    and region semantics live in {!Machine}.  Word accesses are
+    little-endian; an odd word address is aligned down, as on the real
+    MSP430 CPU. *)
+
+type t
+
+val create : unit -> t
+(** A zero-filled 64 KiB memory. *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+
+val read : t -> Word.width -> int -> int
+val write : t -> Word.width -> int -> int -> unit
+
+val blit : t -> addr:int -> bytes -> unit
+(** Copy a byte string into memory starting at [addr]. *)
+
+val blit_words : t -> addr:int -> int list -> unit
+(** Store a list of 16-bit words starting at [addr]. *)
+
+val fill : t -> addr:int -> len:int -> value:int -> unit
+
+val copy : t -> t
+(** Deep copy (for snapshot/restore in tests). *)

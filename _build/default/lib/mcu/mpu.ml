@@ -1,0 +1,144 @@
+type access = Exec | Dread | Dwrite
+type segment = Seg_info | Seg1 | Seg2 | Seg3
+type check_result = Allowed | Violation of segment
+
+type t = {
+  mutable ctl0 : int; (* MPUENA / MPULOCK / MPUSEGIE bits *)
+  mutable ctl1 : int; (* violation interrupt flags *)
+  mutable segb1 : int; (* boundary register: address / 16 *)
+  mutable segb2 : int;
+  mutable sam : int; (* nibble per segment: RE/WE/XE/VS *)
+}
+
+let ctl0_addr = 0x05A0
+let ctl1_addr = 0x05A2
+let segb2_addr = 0x05A4
+let segb1_addr = 0x05A6
+let sam_addr = 0x05A8
+
+let bit_ena = 0x0001
+let bit_lock = 0x0002
+let password = 0xA5
+let granule = 0x400
+
+let default_sam =
+  (* Power-up: everything readable/writable/executable. *)
+  0x7777
+
+let create () =
+  { ctl0 = 0; ctl1 = 0; segb1 = 0; segb2 = 0; sam = default_sam }
+
+let reset t =
+  t.ctl0 <- 0;
+  t.ctl1 <- 0;
+  t.segb1 <- 0;
+  t.segb2 <- 0;
+  t.sam <- default_sam
+
+let handles addr =
+  addr >= ctl0_addr && addr <= sam_addr && addr land 1 = 0
+
+let enabled t = t.ctl0 land bit_ena <> 0
+let locked t = t.ctl0 land bit_lock <> 0
+
+type write_result = Write_ok | Bad_password | Locked_ignored
+
+let mmio_write t addr v =
+  if addr = ctl0_addr || addr = ctl1_addr then
+    (* Control registers demand the 0xA5 password in the high byte. *)
+    if (v lsr 8) land 0xFF <> password then Bad_password
+    else if locked t && addr = ctl0_addr then Locked_ignored
+    else begin
+      if addr = ctl0_addr then t.ctl0 <- v land 0xFF
+      else t.ctl1 <- t.ctl1 land lnot (v land 0xFF);
+      Write_ok
+    end
+  else if locked t then Locked_ignored
+  else begin
+    (if addr = segb2_addr then t.segb2 <- v land 0xFFF
+     else if addr = segb1_addr then t.segb1 <- v land 0xFFF
+     else if addr = sam_addr then t.sam <- v land 0xFFFF);
+    Write_ok
+  end
+
+let mmio_read t addr =
+  if addr = ctl0_addr then 0x9600 lor t.ctl0
+  else if addr = ctl1_addr then t.ctl1
+  else if addr = segb2_addr then t.segb2
+  else if addr = segb1_addr then t.segb1
+  else if addr = sam_addr then t.sam
+  else 0
+
+let align_boundary raw =
+  let addr = (raw lsl 4) land 0xFFFF in
+  let addr = addr land lnot (granule - 1) in
+  (* Boundaries are meaningful only inside main FRAM. *)
+  min (max addr Memory_map.fram_start) Memory_map.fram_limit
+
+let boundary1 t = align_boundary t.segb1
+let boundary2 t = align_boundary t.segb2
+
+let segment_of_addr t addr =
+  if addr >= Memory_map.info_mem_start && addr < Memory_map.info_mem_limit
+  then Some Seg_info
+  else if addr >= Memory_map.fram_start && addr < Memory_map.fram_limit then
+    if addr < boundary1 t then Some Seg1
+    else if addr < boundary2 t then Some Seg2
+    else Some Seg3
+  else None
+
+let seg_nibble t = function
+  | Seg1 -> t.sam land 0xF
+  | Seg2 -> (t.sam lsr 4) land 0xF
+  | Seg3 -> (t.sam lsr 8) land 0xF
+  | Seg_info -> (t.sam lsr 12) land 0xF
+
+let access_bit = function Dread -> 0x1 | Dwrite -> 0x2 | Exec -> 0x4
+
+let flag_bit = function
+  | Seg1 -> 0x0001
+  | Seg2 -> 0x0002
+  | Seg3 -> 0x0004
+  | Seg_info -> 0x0008
+
+let check t access addr =
+  if not (enabled t) then Allowed
+  else
+    match segment_of_addr t addr with
+    | None -> Allowed
+    | Some seg ->
+      if seg_nibble t seg land access_bit access <> 0 then Allowed
+      else begin
+        t.ctl1 <- t.ctl1 lor flag_bit seg;
+        Violation seg
+      end
+
+let violation_flags t = t.ctl1
+
+let configure t ~b1 ~b2 ~sam ~enable =
+  if not (locked t) then begin
+    t.segb1 <- (b1 lsr 4) land 0xFFF;
+    t.segb2 <- (b2 lsr 4) land 0xFFF;
+    t.sam <- sam land 0xFFFF;
+    t.ctl0 <- (if enable then bit_ena else 0)
+  end
+
+let sam_bits ~seg1 ~seg2 ~seg3 ?(info = "") () =
+  let nib s =
+    let b = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | 'r' -> b := !b lor 0x1
+        | 'w' -> b := !b lor 0x2
+        | 'x' -> b := !b lor 0x4
+        | _ -> invalid_arg "Mpu.sam_bits")
+      s;
+    !b
+  in
+  nib seg1 lor (nib seg2 lsl 4) lor (nib seg3 lsl 8) lor (nib info lsl 12)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "MPU{ena=%b lock=%b b1=%04X b2=%04X sam=%04X ifg=%X}" (enabled t)
+    (locked t) (boundary1 t) (boundary2 t) t.sam t.ctl1

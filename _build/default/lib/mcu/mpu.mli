@@ -1,0 +1,91 @@
+(** Model of the MSP430 FRAM memory protection unit (MPU).
+
+    Faithful to the FR5969's unit and to the shortcomings the paper
+    leans on:
+
+    - only main FRAM ([0x4400, 0xFF80)) and InfoMem are covered; SRAM,
+      peripherals, the bootstrap ROM and the interrupt vectors are
+      {e never} protected;
+    - three main segments with just two adjustable boundaries
+      ([MPUSEGB1] between segments 1 and 2, [MPUSEGB2] between 2 and 3);
+    - boundaries snap down to a 1 KiB granule (the "arcane protection
+      boundary rules");
+    - segment 0 is pinned to InfoMem;
+    - configuration registers are password-protected ([0xA5] in the
+      high byte of any register write) and can be locked until reset.
+
+    Register addresses match the real part: MPUCTL0 0x05A0, MPUCTL1
+    0x05A2, MPUSEGB2 0x05A4, MPUSEGB1 0x05A6, MPUSAM 0x05A8. *)
+
+type t
+
+type access = Exec | Dread | Dwrite
+
+type segment = Seg_info | Seg1 | Seg2 | Seg3
+
+type check_result =
+  | Allowed
+  | Violation of segment
+      (** Access denied; the segment's interrupt flag has been set. *)
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Power-up-clear: MPU disabled, unlocked, boundaries and SAM reset. *)
+
+(* Register-level interface (used by the machine's MMIO dispatch). *)
+
+val ctl0_addr : int
+val ctl1_addr : int
+val segb2_addr : int
+val segb1_addr : int
+val sam_addr : int
+
+val handles : int -> bool
+(** [handles addr] is true when [addr] is an MPU register. *)
+
+type write_result = Write_ok | Bad_password | Locked_ignored
+
+val mmio_write : t -> int -> int -> write_result
+(** Word write to an MPU register.  Writes to MPUCTL0/MPUCTL1 must
+    carry [0xA5] in the high byte; [Bad_password] otherwise, which on
+    real silicon triggers a PUC reset (the machine's responsibility).
+    Boundary and SAM registers take plain 16-bit values but are
+    ignored while the configuration is locked. *)
+
+val mmio_read : t -> int -> int
+
+(* Semantic interface. *)
+
+val enabled : t -> bool
+val locked : t -> bool
+
+val segment_of_addr : t -> int -> segment option
+(** Which segment covers an address, or [None] when the address is
+    outside MPU-protected memory. *)
+
+val boundary1 : t -> int
+val boundary2 : t -> int
+(** Effective (1 KiB-aligned) segment boundaries. *)
+
+val check : t -> access -> int -> check_result
+(** Permission check for one access.  Always [Allowed] when the MPU is
+    disabled or the address is not covered. *)
+
+val violation_flags : t -> int
+(** Current MPUCTL1 interrupt-flag bits. *)
+
+(* Direct configuration helper used by host-side tests and the kernel
+   model; performs the same password-checked writes as MMIO. *)
+
+val configure :
+  t -> b1:int -> b2:int -> sam:int -> enable:bool -> unit
+(** Set boundaries (byte addresses), the segment access mask and the
+    enable bit, as if written with the correct password. *)
+
+val sam_bits : seg1:string -> seg2:string -> seg3:string -> ?info:string -> unit -> int
+(** Build an MPUSAM value from permission strings over ['r' 'w' 'x'],
+    e.g. [sam_bits ~seg1:"x" ~seg2:"rw" ~seg3:"" ()].  [info] defaults
+    to no access. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/os/api.ml: Amulet_cc Amulet_mcu Array Buffer Char Event List Sensors String

@@ -1,0 +1,1 @@
+lib/os/api.mli: Amulet_mcu Buffer Event Sensors

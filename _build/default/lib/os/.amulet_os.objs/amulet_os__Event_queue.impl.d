@@ -1,0 +1,1 @@
+lib/os/event_queue.ml: Event List

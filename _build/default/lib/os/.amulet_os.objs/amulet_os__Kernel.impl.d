@@ -1,0 +1,1 @@
+lib/os/kernel.ml: Amulet_aft Amulet_cc Amulet_link Amulet_mcu Api Array Buffer Event Event_queue Format Hashtbl List Option Printf Sensors

@@ -1,0 +1,1 @@
+lib/os/kernel.mli: Amulet_aft Amulet_mcu Api Event Event_queue Hashtbl Sensors

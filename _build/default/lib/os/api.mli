@@ -1,0 +1,48 @@
+(** Host-side implementations of the OS API services.
+
+    The simulated gate writes a service number to the host-call port;
+    the machine invokes {!dispatch}, which reads arguments from
+    R12-R14, validates any application-supplied pointer against the
+    calling app's writable range, performs the service against the
+    synthetic sensor models, writes the result to R12, and charges the
+    service's modeled cycle cost (documented per service in the
+    implementation; gate/context-switch cycles are {e executed}, not
+    charged).
+
+    Side effects that concern the scheduler (timers, subscriptions)
+    are returned as {!effect}s for the kernel to apply. *)
+
+type effect =
+  | Set_timer of { id : int; period_ms : int }
+  | Cancel_timer of int
+  | Subscribe of { sensor : Event.sensor; rate_hz : int }
+  | Unsubscribe of Event.sensor
+  | Pointer_fault of { service : string; addr : int; len : int }
+      (** an app handed the OS a pointer outside its own region *)
+
+type t = {
+  sensors : Sensors.t;
+  display : string array;  (** 4-line display model *)
+  log : Buffer.t;  (** flash log model *)
+  ble : Buffer.t;  (** radio transmit model *)
+  mutable rand_state : int;
+  mutable next_timer : int;
+  mutable calls : int;
+  mutable charged_cycles : int;
+}
+
+val create : Sensors.t -> t
+
+val service_count : int
+val service_name : int -> string option
+
+val dispatch :
+  t ->
+  Amulet_mcu.Machine.t ->
+  valid:(int * int) list ->
+  now_ms:int ->
+  svc:int ->
+  effect list
+(** [valid] lists the half-open address ranges the calling app may
+    legitimately hand to the OS (its data segment, plus the shared
+    SRAM stack in the shared-stack modes). *)

@@ -1,0 +1,18 @@
+(** Priority queue of pending events, ordered by virtual time with
+    FIFO tie-breaking (a leftist heap). *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+val push : t -> at:int -> app:int -> Event.kind -> arg:int -> unit
+(** Enqueue; assigns the FIFO sequence number. *)
+
+val pop : t -> Event.t option
+val peek : t -> Event.t option
+
+val clear_app : t -> int -> unit
+(** Drop every pending event destined for one app (used when an app is
+    disabled after a fault). *)

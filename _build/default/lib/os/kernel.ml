@@ -1,0 +1,338 @@
+module M = Amulet_mcu.Machine
+module R = Amulet_mcu.Registers
+module Map = Amulet_mcu.Memory_map
+module Aft = Amulet_aft.Aft
+module Iso = Amulet_cc.Isolation
+
+type fault_policy = Disable | Restart of int
+
+type outcome = Ok | No_handler | App_fault of string
+
+type dispatch_record = {
+  dr_app : int;
+  dr_kind : Event.kind;
+  dr_cycles : int;
+  dr_reads : int;
+  dr_writes : int;
+  dr_api_calls : int;
+  dr_outcome : outcome;
+}
+
+type handler_stats = {
+  mutable hs_count : int;
+  mutable hs_cycles : int;
+  mutable hs_reads : int;
+  mutable hs_writes : int;
+  mutable hs_api_calls : int;
+}
+
+type app_state = {
+  build : Aft.app_build;
+  mutable enabled : bool;
+  mutable fault_count : int;
+  mutable restarts : int;
+  mutable last_fault : string option;
+  mutable subscriptions : (Event.sensor * int) list;
+  mutable timers : (int * int) list;
+  stats : (string, handler_stats) Hashtbl.t;
+  state_addr : int option;
+      (* address of the app's "state" global, when it declares one *)
+  state_stats : (int * string, handler_stats) Hashtbl.t;
+      (* per (machine state, handler): the ARP-view accounting *)
+}
+
+type t = {
+  fw : Aft.firmware;
+  machine : M.t;
+  api : Api.t;
+  queue : Event_queue.t;
+  apps : app_state array;
+  policy : fault_policy;
+  mutable now : int;
+  mutable dispatches : int;
+  mutable current_app : int;
+}
+
+let handler_fuel = 20_000_000
+
+let now_ms t = t.now / Event.cycles_per_ms
+
+let post t ~delay_ms ~app kind ~arg =
+  Event_queue.push t.queue
+    ~at:(t.now + Event.ms_to_cycles delay_ms)
+    ~app kind ~arg
+
+(* Validation bounds the OS applies to app-supplied pointers: in the
+   separate-stack modes an app may only hand out addresses inside its
+   own data segment; in the shared-stack modes its locals live on the
+   SRAM stack, so that region is acceptable too. *)
+let valid_ranges t (app : app_state) =
+  let lay = app.build.Aft.ab_layout in
+  let data = (lay.Amulet_aft.Layout.data_base, lay.Amulet_aft.Layout.data_limit) in
+  if Iso.separate_stacks t.fw.Aft.fw_mode then [ data ]
+  else (* shared stack: the app's locals live in SRAM *)
+    [ (Map.sram_start, Map.sram_limit); data ]
+
+let apply_effects t app effects =
+  List.iter
+    (fun e ->
+      match e with
+      | Api.Set_timer { id; period_ms } ->
+        app.timers <- (id, period_ms) :: app.timers;
+        post t ~delay_ms:period_ms ~app:app.build.Aft.ab_layout.Amulet_aft.Layout.index
+          (Event.Timer_fired id) ~arg:id
+      | Api.Cancel_timer id ->
+        app.timers <- List.remove_assoc id app.timers
+      | Api.Subscribe { sensor; rate_hz } ->
+        if not (List.mem_assoc sensor app.subscriptions) then begin
+          app.subscriptions <- (sensor, rate_hz) :: app.subscriptions;
+          post t ~delay_ms:(1000 / rate_hz)
+            ~app:app.build.Aft.ab_layout.Amulet_aft.Layout.index
+            (Event.Sensor_sample sensor)
+            ~arg:(Event.sensor_to_int sensor)
+        end
+      | Api.Unsubscribe sensor ->
+        app.subscriptions <- List.remove_assoc sensor app.subscriptions
+      | Api.Pointer_fault { service; addr; len } ->
+        app.last_fault <-
+          Some
+            (Printf.sprintf "pointer %04X+%d rejected by %s" addr len service))
+    effects
+
+let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
+  let machine = M.create () in
+  Amulet_link.Image.load fw.Aft.fw_image machine;
+  M.reset machine;
+  (match M.run ~fuel:100 machine with
+  | M.Halted -> ()
+  | other ->
+    failwith
+      (Format.asprintf "kernel boot failed: %a" M.pp_stop_reason other));
+  let api = Api.create (Sensors.create ?seed scenario) in
+  let apps =
+    Array.of_list
+      (List.map
+         (fun build ->
+           let state_sym =
+             Amulet_cc.Isolation.mangle ~prefix:build.Aft.ab_name "state"
+           in
+           {
+             build;
+             enabled = true;
+             fault_count = 0;
+             restarts = 0;
+             last_fault = None;
+             subscriptions = [];
+             timers = [];
+             stats = Hashtbl.create 8;
+             state_addr =
+               (if Amulet_link.Image.has_symbol fw.Aft.fw_image state_sym then
+                  Some (Amulet_link.Image.symbol fw.Aft.fw_image state_sym)
+                else None);
+             state_stats = Hashtbl.create 8;
+           })
+         fw.Aft.fw_apps)
+  in
+  let t =
+    {
+      fw; machine; api;
+      queue = Event_queue.create ();
+      apps; policy;
+      now = M.cycles machine;
+      dispatches = 0;
+      current_app = -1;
+    }
+  in
+  machine.M.host_call <-
+    (fun m svc ->
+      if t.current_app >= 0 then begin
+        let app = t.apps.(t.current_app) in
+        let effects =
+          Api.dispatch t.api m ~valid:(valid_ranges t app) ~now_ms:(now_ms t)
+            ~svc
+        in
+        apply_effects t app effects
+      end);
+  (* every app starts with an init event *)
+  Array.iteri
+    (fun i _ -> post t ~delay_ms:0 ~app:i Event.Init ~arg:0)
+    apps;
+  t
+
+let stats_for app handler =
+  match Hashtbl.find_opt app.stats handler with
+  | Some s -> s
+  | None ->
+    let s =
+      { hs_count = 0; hs_cycles = 0; hs_reads = 0; hs_writes = 0;
+        hs_api_calls = 0 }
+    in
+    Hashtbl.add app.stats handler s;
+    s
+
+let handle_fault t (app : app_state) msg =
+  app.fault_count <- app.fault_count + 1;
+  app.last_fault <- Some msg;
+  (* An MPU violation raises a PUC on real silicon, which clears the
+     MPU configuration; the next dispatch reprograms it. *)
+  Amulet_mcu.Mpu.reset t.machine.M.mpu;
+  let index = app.build.Aft.ab_layout.Amulet_aft.Layout.index in
+  match t.policy with
+  | Disable ->
+    app.enabled <- false;
+    Event_queue.clear_app t.queue index
+  | Restart limit ->
+    if app.restarts >= limit then begin
+      app.enabled <- false;
+      Event_queue.clear_app t.queue index
+    end
+    else begin
+      app.restarts <- app.restarts + 1;
+      app.subscriptions <- [];
+      app.timers <- [];
+      Event_queue.clear_app t.queue index;
+      post t ~delay_ms:1 ~app:index Event.Init ~arg:0
+    end
+
+let dispatch_event t (e : Event.t) =
+  let app = t.apps.(e.Event.app) in
+  let handler = Event.handler_name e.Event.kind in
+  let no_handler =
+    {
+      dr_app = e.Event.app; dr_kind = e.Event.kind; dr_cycles = 0;
+      dr_reads = 0; dr_writes = 0; dr_api_calls = 0; dr_outcome = No_handler;
+    }
+  in
+  if not app.enabled then no_handler
+  else
+    match Aft.handler_addr app.build handler with
+    | None -> no_handler
+    | Some haddr ->
+      let m = t.machine in
+      let regs = M.regs m in
+      let state_before =
+        Option.map (fun a -> M.mem_checked_read m Amulet_mcu.Word.W16 a)
+          app.state_addr
+      in
+      let cycles0 = M.cycles m in
+      let reads0 = m.M.stats.Amulet_mcu.Trace.data_reads in
+      let writes0 = m.M.stats.Amulet_mcu.Trace.data_writes in
+      let api0 = t.api.Api.calls in
+      m.M.halted <- false;
+      m.M.sw_fault <- None;
+      R.set regs 12 e.Event.arg;
+      R.set regs 15 haddr;
+      R.set_pc regs app.build.Aft.ab_tramp;
+      t.current_app <- e.Event.app;
+      let stop = M.run ~fuel:handler_fuel m in
+      t.current_app <- -1;
+      let outcome =
+        match stop with
+        | M.Halted -> Ok
+        | M.Sw_fault code ->
+          App_fault (Printf.sprintf "software check fault %d" code)
+        | M.Faulted f -> App_fault (Format.asprintf "%a" M.pp_fault f)
+        | M.Out_of_fuel -> App_fault "runaway handler"
+      in
+      (match outcome with
+      | App_fault msg -> handle_fault t app msg
+      | Ok | No_handler -> ());
+      let record =
+        {
+          dr_app = e.Event.app;
+          dr_kind = e.Event.kind;
+          dr_cycles = M.cycles m - cycles0;
+          dr_reads = m.M.stats.Amulet_mcu.Trace.data_reads - reads0;
+          dr_writes = m.M.stats.Amulet_mcu.Trace.data_writes - writes0;
+          dr_api_calls = t.api.Api.calls - api0;
+          dr_outcome = outcome;
+        }
+      in
+      let bump s =
+        s.hs_count <- s.hs_count + 1;
+        s.hs_cycles <- s.hs_cycles + record.dr_cycles;
+        s.hs_reads <- s.hs_reads + record.dr_reads;
+        s.hs_writes <- s.hs_writes + record.dr_writes;
+        s.hs_api_calls <- s.hs_api_calls + record.dr_api_calls
+      in
+      bump (stats_for app handler);
+      (* ARP-view accounting: attribute the dispatch to the state the
+         app's machine was in when the event arrived *)
+      (match state_before with
+      | Some st ->
+        let key = (st, handler) in
+        let s =
+          match Hashtbl.find_opt app.state_stats key with
+          | Some s -> s
+          | None ->
+            let s =
+              { hs_count = 0; hs_cycles = 0; hs_reads = 0; hs_writes = 0;
+                hs_api_calls = 0 }
+            in
+            Hashtbl.add app.state_stats key s;
+            s
+        in
+        bump s
+      | None -> ());
+      t.dispatches <- t.dispatches + 1;
+      record
+
+(* Re-arm periodic sources after delivering one of their events. *)
+let rearm t (e : Event.t) =
+  let app = t.apps.(e.Event.app) in
+  if app.enabled then
+    match e.Event.kind with
+    | Event.Sensor_sample sensor -> (
+      match List.assoc_opt sensor app.subscriptions with
+      | Some rate_hz ->
+        post t ~delay_ms:(max 1 (1000 / rate_hz)) ~app:e.Event.app
+          e.Event.kind ~arg:e.Event.arg
+      | None -> ())
+    | Event.Timer_fired id -> (
+      match List.assoc_opt id app.timers with
+      | Some period_ms ->
+        post t ~delay_ms:period_ms ~app:e.Event.app e.Event.kind ~arg:id
+      | None -> ())
+    | Event.Init | Event.Button _ | Event.Tick -> ()
+
+let dispatch_next t =
+  match Event_queue.pop t.queue with
+  | None -> None
+  | Some e ->
+    t.now <- max t.now e.Event.at;
+    let before = M.cycles t.machine in
+    let record = dispatch_event t e in
+    let elapsed = M.cycles t.machine - before in
+    t.now <- t.now + elapsed;
+    rearm t e;
+    Some record
+
+let run_for_ms t ms =
+  let deadline = t.now + Event.ms_to_cycles ms in
+  let rec go acc =
+    match Event_queue.peek t.queue with
+    | Some e when e.Event.at <= deadline -> (
+      match dispatch_next t with
+      | Some r -> go (r :: acc)
+      | None -> List.rev acc)
+    | _ ->
+      t.now <- deadline;
+      List.rev acc
+  in
+  go []
+
+let app_by_name t name =
+  match
+    Array.to_list t.apps
+    |> List.find_opt (fun a -> a.build.Aft.ab_name = name)
+  with
+  | Some a -> a
+  | None -> raise Not_found
+
+let handler_profile app handler = Hashtbl.find_opt app.stats handler
+
+let state_profile app =
+  Hashtbl.fold (fun key s acc -> (key, s) :: acc) app.state_stats []
+  |> List.sort compare
+let display_line t n = t.api.Api.display.(n land 3)
+let log_contents t = Buffer.contents t.api.Api.log

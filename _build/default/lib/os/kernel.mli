@@ -1,0 +1,104 @@
+(** The AmuletOS kernel model: event-driven scheduler driving app
+    state machines on the simulated MCU.
+
+    The kernel is the host side of the hybrid OS design (DESIGN.md):
+    dispatching an event means loading the handler address into R15,
+    the argument into R12, and starting the machine at the app's
+    AFT-generated trampoline; everything from there to the halt in
+    [__osreturn] — MPU reconfiguration, stack switch, the handler, API
+    gates — is simulated machine code whose cycles are measured.
+
+    Virtual time is counted in CPU cycles (16 MHz); events carry cycle
+    timestamps and the clock advances to [max now event.at] before a
+    dispatch, then by however long the handler ran. *)
+
+type fault_policy =
+  | Disable  (** a faulting app is switched off (default) *)
+  | Restart of int  (** re-deliver [handle_init] up to N times *)
+
+type outcome =
+  | Ok
+  | No_handler
+  | App_fault of string  (** MPU violation / check fault / runaway *)
+
+(** Measured cost of one handler dispatch. *)
+type dispatch_record = {
+  dr_app : int;
+  dr_kind : Event.kind;
+  dr_cycles : int;  (** trampoline + handler + gates + services *)
+  dr_reads : int;
+  dr_writes : int;
+  dr_api_calls : int;
+  dr_outcome : outcome;
+}
+
+(** Accumulated per-(app, handler) profile — the input ARP needs. *)
+type handler_stats = {
+  mutable hs_count : int;
+  mutable hs_cycles : int;
+  mutable hs_reads : int;
+  mutable hs_writes : int;
+  mutable hs_api_calls : int;
+}
+
+type app_state = {
+  build : Amulet_aft.Aft.app_build;
+  mutable enabled : bool;
+  mutable fault_count : int;
+  mutable restarts : int;
+  mutable last_fault : string option;
+  mutable subscriptions : (Event.sensor * int) list;  (** sensor, rate Hz *)
+  mutable timers : (int * int) list;  (** id, period ms *)
+  stats : (string, handler_stats) Hashtbl.t;  (** by handler name *)
+  state_addr : int option;
+      (** address of the app's [state] global, when it declares one —
+          enables the ARP-view per-state accounting *)
+  state_stats : (int * string, handler_stats) Hashtbl.t;
+}
+
+type t = {
+  fw : Amulet_aft.Aft.firmware;
+  machine : Amulet_mcu.Machine.t;
+  api : Api.t;
+  queue : Event_queue.t;
+  apps : app_state array;
+  policy : fault_policy;
+  mutable now : int;  (** virtual time, cycles *)
+  mutable dispatches : int;
+  mutable current_app : int;
+}
+
+val create :
+  ?policy:fault_policy ->
+  ?scenario:Sensors.scenario ->
+  ?seed:int ->
+  Amulet_aft.Aft.firmware ->
+  t
+(** Loads the image, resets the machine, runs the boot stub, and
+    queues [handle_init] for every app at t=0.  (Does not dispatch.) *)
+
+val now_ms : t -> int
+
+val post :
+  t -> delay_ms:int -> app:int -> Event.kind -> arg:int -> unit
+
+val dispatch_next : t -> dispatch_record option
+(** Pop and run the earliest event.  [None] when the queue is empty. *)
+
+val run_for_ms : t -> int -> dispatch_record list
+(** Dispatch everything scheduled in the next virtual interval
+    (newly-posted periodic events included); returns the records in
+    dispatch order. *)
+
+val app_by_name : t -> string -> app_state
+
+val handler_profile : app_state -> string -> handler_stats option
+
+val state_profile : app_state -> ((int * string) * handler_stats) list
+(** ARP-view accounting: dispatch statistics keyed by (value of the
+    app's [state] global when the event arrived, handler name) —
+    the paper's "memory accesses and context switches per state and
+    transition".  Empty for apps without a [state] global. *)
+
+val display_line : t -> int -> string
+val log_contents : t -> string

@@ -1,0 +1,118 @@
+type scenario = Resting | Walking | Running | Fall_at of int | Daily_mix
+
+type t = { seed : int; scenario : scenario }
+
+let create ?(seed = 0x5EED) scenario = { seed; scenario }
+let scenario t = t.scenario
+
+(* Deterministic integer noise: a small hash of (seed, tag, t). *)
+let noise t ~tag ~time ~amp =
+  if amp = 0 then 0
+  else begin
+    let h = ref (t.seed lxor (tag * 0x9E3779B1) lxor (time * 0x85EBCA6B)) in
+    h := !h lxor (!h lsr 13);
+    h := !h * 0xC2B2AE35 land 0x3FFFFFFF;
+    h := !h lxor (!h lsr 16);
+    (!h mod (2 * amp)) - amp
+  end
+
+let pi = 4.0 *. atan 1.0
+
+(* Integer sinusoid: amplitude * sin(2*pi*freq_mhz*t/1000). [freq_mhz]
+   is in milli-hertz so slow rhythms stay representable. *)
+let sinusoid ~amp ~freq_mhz ~time_ms =
+  let phase = 2.0 *. pi *. float_of_int freq_mhz *. float_of_int time_ms /. 1.0e6 in
+  int_of_float (float_of_int amp *. sin phase)
+
+(* Which activity is in force at [time_ms] for the scenario. *)
+type phase = P_rest | P_walk | P_run | P_fall
+
+let phase_at t ~time_ms =
+  match t.scenario with
+  | Resting -> P_rest
+  | Walking -> P_walk
+  | Running -> P_run
+  | Fall_at f ->
+    if time_ms >= f && time_ms < f + 400 then P_fall else P_rest
+  | Daily_mix ->
+    (* 5-minute segments: rest, walk, rest, run, ... *)
+    (match time_ms / 300_000 mod 4 with
+    | 0 | 2 -> P_rest
+    | 1 -> P_walk
+    | _ -> P_run)
+
+let accel_sample t ~time_ms =
+  match phase_at t ~time_ms with
+  | P_rest ->
+    ( noise t ~tag:1 ~time:time_ms ~amp:30,
+      noise t ~tag:2 ~time:time_ms ~amp:30,
+      1000 + noise t ~tag:3 ~time:time_ms ~amp:20 )
+  | P_walk ->
+    ( sinusoid ~amp:180 ~freq_mhz:1_900 ~time_ms + noise t ~tag:1 ~time:time_ms ~amp:60,
+      sinusoid ~amp:120 ~freq_mhz:950 ~time_ms + noise t ~tag:2 ~time:time_ms ~amp:60,
+      1000
+      + sinusoid ~amp:350 ~freq_mhz:1_900 ~time_ms
+      + noise t ~tag:3 ~time:time_ms ~amp:80 )
+  | P_run ->
+    ( sinusoid ~amp:420 ~freq_mhz:2_800 ~time_ms + noise t ~tag:1 ~time:time_ms ~amp:120,
+      sinusoid ~amp:300 ~freq_mhz:1_400 ~time_ms + noise t ~tag:2 ~time:time_ms ~amp:120,
+      1000
+      + sinusoid ~amp:800 ~freq_mhz:2_800 ~time_ms
+      + noise t ~tag:3 ~time:time_ms ~amp:150 )
+  | P_fall ->
+    (* free-fall then impact *)
+    let (dt : int) =
+      match t.scenario with Fall_at f -> time_ms - f | _ -> 0
+    in
+    if dt < 200 then (noise t ~tag:1 ~time:time_ms ~amp:40, 0, 100)
+    else (noise t ~tag:1 ~time:time_ms ~amp:300, 2600, 3200)
+
+let isqrt n =
+  let rec go x = if x * x > n then go (x - 1) else x in
+  if n <= 0 then 0 else go (min n 32767)
+
+let accel_magnitude t ~time_ms =
+  let x, y, z = accel_sample t ~time_ms in
+  isqrt ((x * x) + (y * y) + (z * z))
+
+let heart_rate t ~time_ms =
+  let base =
+    match phase_at t ~time_ms with
+    | P_rest -> 62
+    | P_walk -> 95
+    | P_run -> 148
+    | P_fall -> 110
+  in
+  base + sinusoid ~amp:4 ~freq_mhz:8 ~time_ms + noise t ~tag:7 ~time:(time_ms / 1000) ~amp:3
+
+let ppg_sample t ~time_ms =
+  (* pulse waveform at the current heart rate plus baseline wander *)
+  let bpm = heart_rate t ~time_ms in
+  let freq_mhz = bpm * 1000 / 60 in
+  2048
+  + sinusoid ~amp:300 ~freq_mhz ~time_ms
+  + sinusoid ~amp:40 ~freq_mhz:120 ~time_ms
+  + noise t ~tag:9 ~time:time_ms ~amp:25
+
+let temperature t ~time_ms =
+  330 + sinusoid ~amp:8 ~freq_mhz:1 ~time_ms
+  + noise t ~tag:11 ~time:(time_ms / 10_000) ~amp:3
+
+let light t ~time_ms =
+  (* 24-hour cycle: night is dark, daylight peaks triangularly at 1pm *)
+  let ms_day = 86_400_000 in
+  let hour = time_ms mod ms_day / 3_600_000 in
+  let base =
+    if hour < 6 || hour >= 20 then 2
+    else 800 - (60 * abs (hour - 13))
+  in
+  max 0 (base + noise t ~tag:13 ~time:(time_ms / 5_000) ~amp:30)
+
+(* Two-week battery life: 100 % over 14 * 86400e3 ms. *)
+let battery_percent _ ~time_ms =
+  let life_ms = 14 * 86_400_000 in
+  max 0 (100 - (time_ms * 100 / life_ms))
+
+let button_state t ~time_ms =
+  (* a press roughly every 97 seconds of active use *)
+  if noise t ~tag:17 ~time:(time_ms / 97_000) ~amp:100 > 96 then 1 else 0

@@ -1,0 +1,1 @@
+test/support/harness.ml: Alcotest Amulet_cc Amulet_link Amulet_mcu Printf

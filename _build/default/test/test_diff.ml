@@ -1,0 +1,196 @@
+(* Differential testing: random WearC programs are evaluated by an
+   OCaml reference interpreter and executed by the compiled code on
+   the simulated MCU, under every isolation mode.  Any divergence is a
+   compiler, ISA or simulator bug.
+
+   The generated programs are pointer-free straight-line code over int
+   globals (so all four modes accept them and short-circuit evaluation
+   has no observable side effects), but they exercise the whole
+   arithmetic surface: wrapping add/sub/mul, signed division and
+   modulo, shifts by constant and by variable, bitwise operators,
+   comparisons, ternaries and logical connectives. *)
+
+module H = Test_support.Harness
+module Iso = Amulet_cc.Isolation
+module M = Amulet_mcu.Machine
+
+(* ------------------------------------------------------------------ *)
+(* Expression language shared by generator, printer and evaluator *)
+
+type expr =
+  | Const of int
+  | Global of int  (* g0..g3 *)
+  | Bin of string * expr * expr
+  | Un of string * expr
+  | Ternary of expr * expr * expr
+
+(* 16-bit reference semantics *)
+let wrap v = v land 0xFFFF
+let signed v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let bool01 b = if b then 1 else 0
+
+let rec eval env = function
+  | Const n -> wrap n
+  | Global i -> wrap env.(i)
+  | Un ("-", a) -> wrap (-eval env a)
+  | Un ("~", a) -> wrap (lnot (eval env a))
+  | Un ("!", a) -> bool01 (eval env a = 0)
+  | Un (op, _) -> failwith ("bad unop " ^ op)
+  | Ternary (c, a, b) -> if eval env c <> 0 then eval env a else eval env b
+  | Bin (op, a, b) -> (
+    let va = eval env a and vb = eval env b in
+    let sa = signed va and sb = signed vb in
+    match op with
+    | "+" -> wrap (va + vb)
+    | "-" -> wrap (va - vb)
+    | "*" -> wrap (va * vb)
+    | "/" -> if sb = 0 then 0 (* avoided by construction *) else wrap (sa / sb)
+    | "%" -> if sb = 0 then 0 else wrap (sa mod sb)
+    | "&" -> va land vb
+    | "|" -> va lor vb
+    | "^" -> va lxor vb
+    | "<<" -> wrap (va lsl (vb land 15))
+    | ">>" -> wrap (sa asr (vb land 15))
+    | "<" -> bool01 (sa < sb)
+    | ">" -> bool01 (sa > sb)
+    | "<=" -> bool01 (sa <= sb)
+    | ">=" -> bool01 (sa >= sb)
+    | "==" -> bool01 (va = vb)
+    | "!=" -> bool01 (va <> vb)
+    | "&&" -> bool01 (va <> 0 && vb <> 0)
+    | "||" -> bool01 (va <> 0 || vb <> 0)
+    | _ -> failwith ("bad binop " ^ op))
+
+let rec print = function
+  | Const n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | Global i -> Printf.sprintf "g%d" i
+  | Un (op, a) -> Printf.sprintf "(%s%s)" op (print a)
+  | Bin (op, a, b) -> Printf.sprintf "(%s %s %s)" (print a) op (print b)
+  | Ternary (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (print c) (print a) (print b)
+
+(* ------------------------------------------------------------------ *)
+(* Generator *)
+
+let gen_expr : expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  (* cap the size: subtree fan-out of 3 per level is exponential, and
+     the firmware must fit in 64 KiB under the check-heaviest mode *)
+  sized @@ fun n ->
+  (fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map (fun v -> Const v) (int_range 0 0xFFFF);
+            map (fun v -> Const v) (int_range (-200) 200);
+            map (fun i -> Global i) (int_range 0 3);
+          ]
+      in
+      if n <= 0 then leaf
+      else
+        let sub = self (n / 2) in
+        (* division/modulo get a non-zero constant divisor so the
+           reference never sees a trap the hardware helper turns into
+           garbage *)
+        let divisor =
+          oneof [ int_range 1 400; int_range (-400) (-1) ]
+          |> map (fun v -> Const v)
+        in
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Bin ("+", a, b)) sub sub;
+            map2 (fun a b -> Bin ("-", a, b)) sub sub;
+            map2 (fun a b -> Bin ("*", a, b)) sub sub;
+            map2 (fun a d -> Bin ("/", a, d)) sub divisor;
+            map2 (fun a d -> Bin ("%", a, d)) sub divisor;
+            map2 (fun a b -> Bin ("&", a, b)) sub sub;
+            map2 (fun a b -> Bin ("|", a, b)) sub sub;
+            map2 (fun a b -> Bin ("^", a, b)) sub sub;
+            map2 (fun a k -> Bin ("<<", a, Const k)) sub (int_range 0 15);
+            map2 (fun a k -> Bin (">>", a, Const k)) sub (int_range 0 15);
+            map2 (fun a b -> Bin ("<<", a, Bin ("&", b, Const 7))) sub sub;
+            (let cmp = oneofl [ "<"; ">"; "<="; ">="; "=="; "!=" ] in
+             map3 (fun op a b -> Bin (op, a, b)) cmp sub sub);
+            (let con = oneofl [ "&&"; "||" ] in
+             map3 (fun op a b -> Bin (op, a, b)) con sub sub);
+            map (fun a -> Un ("-", a)) sub;
+            map (fun a -> Un ("~", a)) sub;
+            map (fun a -> Un ("!", a)) sub;
+            map3 (fun c a b -> Ternary (c, a, b)) sub sub sub;
+          ]))
+    (min n 20)
+
+type program = { inits : int array; stmts : (int * expr) list; result : expr }
+
+let gen_program : program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* inits = array_size (return 4) (int_range 0 0xFFFF) in
+  let* stmts =
+    list_size (int_range 0 5)
+      (pair (int_range 0 3) (gen_expr |> map (fun e -> e)))
+  in
+  let* result = gen_expr in
+  return { inits; stmts; result }
+
+let to_source p =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "int g%d = %d;\n" i v))
+    p.inits;
+  Buffer.add_string buf "int main() {\n";
+  List.iter
+    (fun (i, e) -> Buffer.add_string buf (Printf.sprintf "  g%d = %s;\n" i (print e)))
+    p.stmts;
+  Buffer.add_string buf (Printf.sprintf "  return %s;\n}\n" (print p.result));
+  Buffer.contents buf
+
+let reference_result p =
+  let env = Array.map wrap p.inits in
+  List.iter (fun (i, e) -> env.(i) <- eval env e) p.stmts;
+  eval env p.result
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let run_mode mode src =
+  let r = H.run ~mode src in
+  match r.H.stop with
+  | M.Halted -> H.return_value r
+  | other ->
+    failwith (Format.asprintf "did not halt: %a" M.pp_stop_reason other)
+
+let diff_property mode =
+  QCheck2.Test.make ~count:120
+    ~name:("compiled = reference (" ^ Iso.name mode ^ ")")
+    ~print:(fun p ->
+      Printf.sprintf "%s\n(* reference: %d *)" (to_source p)
+        (reference_result p))
+    gen_program
+    (fun p ->
+      let src = to_source p in
+      run_mode mode src = reference_result p)
+
+(* All modes agree with each other on the same program (a weaker but
+   broader check run on fewer cases). *)
+let mode_agreement =
+  QCheck2.Test.make ~count:40 ~name:"all isolation modes agree"
+    ~print:to_source gen_program
+    (fun p ->
+      let src = to_source p in
+      let reference = run_mode Iso.No_isolation src in
+      List.for_all (fun mode -> run_mode mode src = reference) Iso.all)
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "reference-vs-simulator",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            diff_property Iso.No_isolation;
+            diff_property Iso.Mpu_assisted;
+            diff_property Iso.Software_only;
+            diff_property Iso.Feature_limited;
+            mode_agreement;
+          ] );
+    ]

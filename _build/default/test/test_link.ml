@@ -1,0 +1,267 @@
+(* Assembler/linker unit tests plus AFT layout invariants. *)
+
+module A = Amulet_link.Asm
+module Assembler = Amulet_link.Assembler
+module Linker = Amulet_link.Linker
+module Image = Amulet_link.Image
+module Layout = Amulet_aft.Layout
+module Aft = Amulet_aft.Aft
+module O = Amulet_mcu.Opcode
+module Iso = Amulet_cc.Isolation
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Assembler *)
+
+let test_sizes () =
+  check_int "reg-reg insn" 2 (Assembler.size [ A.mov (A.Sreg 5) (A.Dreg 6) ]);
+  check_int "cg immediate" 2 (Assembler.size [ A.mov (A.imm 1) (A.Dreg 6) ]);
+  check_int "big immediate" 4 (Assembler.size [ A.mov (A.imm 300) (A.Dreg 6) ]);
+  (* symbolic immediates always take an extension word *)
+  check_int "symbolic immediate" 4
+    (Assembler.size [ A.mov (A.sym "x") (A.Dreg 6) ]);
+  check_int "abs-abs" 6
+    (Assembler.size [ A.mov (A.Sabs (A.Num 0x1C00)) (A.Dabs (A.Num 0x1C02)) ]);
+  check_int "jump" 2 (Assembler.size [ A.jmp "l"; A.label "l" ] - 0);
+  check_int "dword" 2 (Assembler.size [ A.Dword (A.Num 5) ]);
+  check_int "bytes + align" 4
+    (Assembler.size [ A.Dbytes "abc"; A.Align2; A.Dword (A.Num 1) ] - 2)
+
+let test_labels () =
+  let items =
+    [ A.label "a"; A.mov (A.Sreg 5) (A.Dreg 6); A.label "b"; A.Dword (A.Num 0) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "offsets"
+    [ ("a", 0); ("b", 2) ]
+    (Assembler.local_labels items)
+
+let test_duplicate_label () =
+  match Assembler.local_labels [ A.label "x"; A.label "x" ] with
+  | exception Assembler.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-label error"
+
+(* A jump beyond the +/-512-word format-III range must be relaxed to a
+   long branch — and still execute correctly. *)
+let test_jump_relaxation () =
+  let halt = A.mov (A.imm 1) (A.Dabs (A.Num Amulet_mcu.Machine.halt_port)) in
+  let items =
+    [ A.label "entry"; A.jcc Amulet_mcu.Opcode.JEQ "far"; A.jmp "far" ]
+    @ List.init 600 (fun _ -> A.nop)
+    @ [ A.label "far"; A.mov (A.imm 0xCAFE) (A.Dreg 10); halt ]
+  in
+  let image =
+    Linker.link ~entry:"entry" [ { Linker.name = "s"; base = 0x4400; items } ]
+  in
+  let m = Amulet_mcu.Machine.create () in
+  Image.load image m;
+  Amulet_mcu.Machine.reset m;
+  (match Amulet_mcu.Machine.run m with
+  | Amulet_mcu.Machine.Halted -> ()
+  | other ->
+    Alcotest.failf "run: %a" Amulet_mcu.Machine.pp_stop_reason other);
+  check_int "landed at far" 0xCAFE
+    (Amulet_mcu.Registers.get (Amulet_mcu.Machine.regs m) 10)
+
+(* Emitted bytes must agree with the size computation for symbolic
+   immediates resolving to CG-encodable values. *)
+let test_symbolic_cg_size_agreement () =
+  let items = [ A.mov (A.sym "tiny") (A.Dreg 6); A.label "end" ] in
+  let image =
+    Linker.link ~extra_symbols:[ ("tiny", 8) ] ~entry:"end"
+      [ { Linker.name = "s"; base = 0x4400; items } ]
+  in
+  (* "tiny" = 8 is CG-encodable, but the symbolic operand must still
+     occupy an extension word so label offsets stay correct *)
+  check_int "end offset" (0x4400 + 4) (Image.symbol image "end")
+
+(* ------------------------------------------------------------------ *)
+(* Linker *)
+
+let test_undefined_symbol () =
+  let items = [ A.label "e"; A.call "missing" ] in
+  match
+    Linker.link ~entry:"e" [ { Linker.name = "s"; base = 0x4400; items } ]
+  with
+  | exception Linker.Error msg ->
+    let contains s sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "mentions symbol" true (contains msg "missing")
+  | _ -> Alcotest.fail "expected undefined-symbol error"
+
+let test_duplicate_symbol_across_sections () =
+  let s1 = { Linker.name = "a"; base = 0x4400; items = [ A.label "x" ] } in
+  let s2 = { Linker.name = "b"; base = 0x5000; items = [ A.label "x" ] } in
+  match Linker.link ~entry:"x" [ s1; s2 ] with
+  | exception Linker.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-symbol error"
+
+let test_overlap_detection () =
+  let body = List.init 20 (fun _ -> A.nop) in
+  let s1 = { Linker.name = "a"; base = 0x4400; items = A.label "e" :: body } in
+  let s2 = { Linker.name = "b"; base = 0x4410; items = body } in
+  match Linker.link ~entry:"e" [ s1; s2 ] with
+  | exception Linker.Error _ -> ()
+  | _ -> Alcotest.fail "expected overlap error"
+
+let test_start_end_symbols () =
+  let items = [ A.label "e"; A.Dword (A.Num 1); A.Dword (A.Num 2) ] in
+  let image =
+    Linker.link ~entry:"e" [ { Linker.name = "sec"; base = 0x4400; items } ]
+  in
+  check_int "start" 0x4400 (Image.symbol image "sec__start");
+  check_int "end" 0x4404 (Image.symbol image "sec__end")
+
+let test_image_load () =
+  let items = [ A.label "e"; A.Dword (A.Num 0xBEEF) ] in
+  let image =
+    Linker.link ~entry:"e" [ { Linker.name = "sec"; base = 0x4400; items } ]
+  in
+  let m = Amulet_mcu.Machine.create () in
+  Image.load image m;
+  check_int "datum" 0xBEEF
+    (Amulet_mcu.Machine.mem_checked_read m Amulet_mcu.Word.W16 0x4400);
+  check_int "reset vector" 0x4400
+    (Amulet_mcu.Machine.mem_checked_read m Amulet_mcu.Word.W16 0xFFFE)
+
+(* ------------------------------------------------------------------ *)
+(* Layout invariants *)
+
+let test_layout_alignment () =
+  let lay =
+    Layout.compute ~os_code_size:0x123 ~os_data_size:0x10
+      ~apps:
+        [ ("a", 0x111, 0x23, 0x100); ("b", 0x777, 0x51, 0x200);
+          ("c", 0x39, 0x400, 0x80) ]
+  in
+  check_int "os data 1KiB aligned" 0 (lay.Layout.os_data_base land 0x3FF);
+  check_int "apps base aligned" 0 (lay.Layout.apps_base land 0x3FF);
+  List.iter
+    (fun (a : Layout.app_layout) ->
+      check_int (a.Layout.name ^ " data 1KiB aligned") 0
+        (a.Layout.data_base land 0x3FF);
+      check_int (a.Layout.name ^ " limit aligned") 0
+        (a.Layout.data_limit land 0x3FF);
+      check_bool (a.Layout.name ^ " code below data") true
+        (a.Layout.code_base + a.Layout.code_size <= a.Layout.data_base);
+      check_bool (a.Layout.name ^ " stack below globals") true
+        (a.Layout.stack_top <= a.Layout.data_limit - a.Layout.globals_size);
+      check_bool (a.Layout.name ^ " stack above base") true
+        (a.Layout.stack_top > a.Layout.data_base))
+    lay.Layout.apps;
+  (* apps are contiguous: code of app n+1 starts at data_limit of n *)
+  let rec contiguous = function
+    | (a : Layout.app_layout) :: (b : Layout.app_layout) :: rest ->
+      check_int "contiguous" a.Layout.data_limit b.Layout.code_base;
+      contiguous (b :: rest)
+    | _ -> ()
+  in
+  contiguous lay.Layout.apps
+
+let test_layout_overflow () =
+  match
+    Layout.compute ~os_code_size:0x1000 ~os_data_size:0x100
+      ~apps:[ ("big", 0x8000, 0x8000, 0x8000) ]
+  with
+  | exception Layout.Does_not_fit _ -> ()
+  | _ -> Alcotest.fail "expected does-not-fit"
+
+(* ------------------------------------------------------------------ *)
+(* AFT end-to-end invariants *)
+
+let tiny_app = "int x; void handle_init(int a) { x = 1; }"
+
+let test_aft_bounds_symbols () =
+  let fw =
+    Aft.build ~mode:Iso.Mpu_assisted [ { Aft.name = "tiny"; source = tiny_app } ]
+  in
+  let img = fw.Aft.fw_image in
+  let lay = List.hd fw.Aft.fw_layout.Layout.apps in
+  check_int "data lo symbol = layout" lay.Layout.data_base
+    (Image.symbol img "tiny_data__start");
+  check_int "code lo symbol = layout" lay.Layout.code_base
+    (Image.symbol img "tiny_code__start");
+  check_bool "tramp exists" true (Image.has_symbol img "__tramp_tiny");
+  check_bool "exit stub inside app code" true
+    (let e = Image.symbol img "__exit_tiny" in
+     e >= lay.Layout.code_base && e < lay.Layout.code_base + lay.Layout.code_size)
+
+let test_aft_duplicate_names () =
+  match
+    Aft.build ~mode:Iso.No_isolation
+      [
+        { Aft.name = "a"; source = tiny_app };
+        { Aft.name = "a"; source = tiny_app };
+      ]
+  with
+  | exception Aft.Build_error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-name error"
+
+let test_aft_bad_name () =
+  match Aft.build ~mode:Iso.No_isolation [ { Aft.name = "Bad App"; source = tiny_app } ] with
+  | exception Aft.Build_error _ -> ()
+  | _ -> Alcotest.fail "expected invalid-name error"
+
+let test_stack_depth_analysis () =
+  let src =
+    "int leaf(int x) { int a[4]; a[0] = x; return a[0]; }\n\
+     int mid(int x) { return leaf(x) + leaf(x + 1); }\n\
+     void handle_init(int a) { mid(a); }"
+  in
+  let cu = Amulet_cc.Driver.compile ~prefix:"t" ~mode:Iso.Software_only src in
+  check_bool "not recursive" false cu.Amulet_cc.Driver.recursive;
+  (* three frames deep: init -> mid -> leaf, each bounded *)
+  check_bool "bounded estimate" true
+    (cu.Amulet_cc.Driver.stack_bytes > 24
+    && cu.Amulet_cc.Driver.stack_bytes < 400)
+
+let test_stack_depth_recursion_flag () =
+  let src =
+    "int f(int x) { if (x) return f(x - 1); return 0; }\n\
+     void handle_init(int a) { f(a); }"
+  in
+  let cu = Amulet_cc.Driver.compile ~prefix:"t" ~mode:Iso.Software_only src in
+  check_bool "flagged recursive" true cu.Amulet_cc.Driver.recursive;
+  check_int "default reservation" Amulet_cc.Driver.default_stack_bytes
+    cu.Amulet_cc.Driver.stack_bytes
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "link"
+    [
+      ( "assembler",
+        [
+          quick "sizes" test_sizes;
+          quick "labels" test_labels;
+          quick "duplicate label" test_duplicate_label;
+          quick "jump relaxation" test_jump_relaxation;
+          quick "symbolic CG sizing" test_symbolic_cg_size_agreement;
+        ] );
+      ( "linker",
+        [
+          quick "undefined symbol" test_undefined_symbol;
+          quick "duplicate symbol" test_duplicate_symbol_across_sections;
+          quick "overlap" test_overlap_detection;
+          quick "start/end symbols" test_start_end_symbols;
+          quick "image load" test_image_load;
+        ] );
+      ( "layout",
+        [
+          quick "alignment invariants" test_layout_alignment;
+          quick "overflow" test_layout_overflow;
+        ] );
+      ( "aft",
+        [
+          quick "bounds symbols" test_aft_bounds_symbols;
+          quick "duplicate names" test_aft_duplicate_names;
+          quick "bad name" test_aft_bad_name;
+          quick "stack depth" test_stack_depth_analysis;
+          quick "recursion flag" test_stack_depth_recursion_flag;
+        ] );
+    ]
