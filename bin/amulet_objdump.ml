@@ -38,9 +38,34 @@ let dump_cmd mode os_too apps =
     Amulet_link.Image.load fw.Aft.fw_image machine;
     let fetch a = Amulet_mcu.Machine.mem_checked_read machine Amulet_mcu.Word.W16 a in
     let symbols = fw.Aft.fw_image.Amulet_link.Image.symbols in
+    (* per-function check statistics, shown next to the function label *)
+    let fn_stats = Hashtbl.create 32 in
+    List.iter
+      (fun ab ->
+        List.iter
+          (fun fi ->
+            let mangled =
+              Iso.mangle ~prefix:ab.Aft.ab_name
+                fi.Amulet_cc.Codegen.fi_name
+            in
+            match List.assoc_opt mangled symbols with
+            | Some addr -> Hashtbl.replace fn_stats addr fi
+            | None -> ())
+          ab.Aft.ab_compiled.Amulet_cc.Driver.infos)
+      fw.Aft.fw_apps;
     let dump title lo hi =
       Format.printf "@.; ---- %s (%04X..%04X) ----@." title lo hi;
-      Amulet_mcu.Disasm.pp_listing Format.std_formatter
+      List.iter
+        (fun (line : Amulet_mcu.Disasm.line) ->
+          (match Hashtbl.find_opt fn_stats line.Amulet_mcu.Disasm.addr with
+          | Some fi ->
+            Hashtbl.remove fn_stats line.Amulet_mcu.Disasm.addr;
+            let s = fi.Amulet_cc.Codegen.fi_sites in
+            Format.printf "; %s: %d checked, %d elided, %d static sites@."
+              fi.Amulet_cc.Codegen.fi_name s.Amulet_cc.Codegen.checked
+              s.Amulet_cc.Codegen.elided fi.Amulet_cc.Codegen.fi_static_sites
+          | None -> ());
+          Format.printf "%a@." Amulet_mcu.Disasm.pp_line line)
         (Amulet_mcu.Disasm.range ~symbols ~fetch ~lo ~hi ())
     in
     if os_too then

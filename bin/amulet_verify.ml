@@ -1,0 +1,161 @@
+(* amulet_verify: build a firmware from WearC sources (or suite app
+   names) and run the independent SFI verifier over every app code
+   section.  Exit status 1 when any app is rejected — the verifier is
+   the final gate a firmware passes before it is trusted to run
+   alongside the OS. *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Apps = Amulet_apps.Suite
+module V = Amulet_analysis.Verifier
+
+let mode_conv =
+  let parse s =
+    match Iso.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected one of: none, amuletc, software, mpu")
+  in
+  Cmdliner.Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Iso.name m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let spec_of mode arg =
+  match List.find_opt (fun (a : Apps.app) -> a.Apps.name = arg) Apps.all with
+  | Some app -> Apps.spec_for mode app
+  | None ->
+    {
+      Aft.name = Filename.remove_extension (Filename.basename arg);
+      source = read_file arg;
+    }
+
+(* Demonstration mutant: zero the immediate of the first lower-bound
+   guard comparison in the app's code section, the binary equivalent
+   of a compiler that forgot (or was tricked out of) a bounds check. *)
+let corrupt_guard image ~prefix =
+  let module I = Amulet_link.Image in
+  let module O = Amulet_mcu.Opcode in
+  let code_lo = I.symbol image (Iso.code_lo_sym ~prefix) in
+  let code_hi = I.symbol image (Iso.code_hi_sym ~prefix) in
+  let data_lo = I.symbol image (Iso.data_lo_sym ~prefix) in
+  let fetch a =
+    let rec go = function
+      | [] -> 0
+      | (base, b) :: rest ->
+        if a >= base && a + 1 < base + Bytes.length b then
+          Char.code (Bytes.get b (a - base))
+          lor (Char.code (Bytes.get b (a - base + 1)) lsl 8)
+        else go rest
+    in
+    go image.I.chunks
+  in
+  let poke a v =
+    List.iter
+      (fun (base, b) ->
+        if a >= base && a + 1 < base + Bytes.length b then begin
+          Bytes.set b (a - base) (Char.chr (v land 0xFF));
+          Bytes.set b (a - base + 1) (Char.chr ((v lsr 8) land 0xFF))
+        end)
+      image.I.chunks
+  in
+  let rec scan a =
+    if a >= code_hi then None
+    else
+      match Amulet_mcu.Decode.decode ~fetch ~addr:a with
+      | exception Amulet_mcu.Decode.Illegal _ -> scan (a + 2)
+      | O.Fmt1 (O.CMP, _, O.S_immediate k, O.D_reg r), _
+        when k land 0xFFFF = data_lo && r >= 4 ->
+        poke (a + 2) 0;
+        Some a
+      | _, size -> scan (a + size)
+  in
+  scan code_lo
+
+let verify_cmd mode no_elide shadow corrupt apps =
+  try
+    let specs = List.map (spec_of mode) apps in
+    let fw = Aft.build ~mode ~shadow ~elide:(not no_elide) specs in
+    Format.printf "isolation mode: %s%s%s@." (Iso.name mode)
+      (if shadow then " + shadow stack" else "")
+      (if no_elide then "" else " (elision on)");
+    (if corrupt then
+       match fw.Aft.fw_apps with
+       | ab :: _ -> (
+         match corrupt_guard fw.Aft.fw_image ~prefix:ab.Aft.ab_name with
+         | Some a ->
+           Format.printf "corrupted guard immediate at %04X in app %s@." a
+             ab.Aft.ab_name
+         | None -> Format.printf "no guard found to corrupt@.")
+       | [] -> ());
+    let bad = ref 0 in
+    List.iter
+      (fun ab ->
+        let name = ab.Aft.ab_name in
+        match V.verify_app ~image:fw.Aft.fw_image ~mode ~prefix:name with
+        | Ok st -> Format.printf "%-12s OK   %a@." name V.pp_stats st
+        | Error vs ->
+          incr bad;
+          Format.printf "%-12s REJECTED (%d violations)@." name
+            (List.length vs);
+          List.iter (fun v -> Format.printf "  %a@." V.pp_violation v) vs)
+      fw.Aft.fw_apps;
+    if !bad = 0 then 0 else 1
+  with
+  | Amulet_cc.Srcloc.Error (loc, msg) ->
+    Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
+    2
+  | Aft.Build_error msg ->
+    Format.eprintf "build error: %s@." msg;
+    2
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    2
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Iso.Mpu_assisted
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Isolation mode: $(b,none), $(b,amuletc) (feature-limited), \
+           $(b,software), or $(b,mpu).")
+
+let no_elide_arg =
+  Arg.(
+    value & flag
+    & info [ "no-elide" ]
+        ~doc:"Compile with every guard emitted (skip the range analysis).")
+
+let shadow_arg =
+  Arg.(
+    value & flag
+    & info [ "shadow" ] ~doc:"Arm the InfoMem shadow return-address stack.")
+
+let corrupt_arg =
+  Arg.(
+    value & flag
+    & info [ "corrupt" ]
+        ~doc:
+          "Zero the first lower-bound guard immediate before verifying — \
+           demonstrates rejection of a tampered image.")
+
+let apps_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"APP" ~doc:"Suite app name or WearC source path.")
+
+let cmd =
+  let doc = "verify the SFI invariant of a built firmware image" in
+  Cmd.v
+    (Cmd.info "amulet_verify" ~doc)
+    Term.(
+      const verify_cmd $ mode_arg $ no_elide_arg $ shadow_arg $ corrupt_arg
+      $ apps_arg)
+
+let () = exit (Cmd.eval' cmd)

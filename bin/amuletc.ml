@@ -52,10 +52,11 @@ let compile_cmd mode paths symbols =
            else "");
         List.iter
           (fun fi ->
+            let s = fi.Amulet_cc.Codegen.fi_sites in
             Format.printf
-              "  %-24s frame %3dB, %d checked / %d static accesses@."
+              "  %-24s frame %3dB, %d checked / %d elided / %d static accesses@."
               fi.Amulet_cc.Codegen.fi_name fi.Amulet_cc.Codegen.fi_frame_bytes
-              fi.Amulet_cc.Codegen.fi_checked_sites
+              s.Amulet_cc.Codegen.checked s.Amulet_cc.Codegen.elided
               fi.Amulet_cc.Codegen.fi_static_sites)
           cu.Amulet_cc.Driver.infos)
       fw.Aft.fw_apps;

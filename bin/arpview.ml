@@ -64,9 +64,9 @@ let profile_cmd app_name warmup =
         Format.printf "  static check sites (AFT phase 1):@.";
         List.iter
           (fun s ->
-            Format.printf "    %-24s %3d checked, %3d static, %2d API@."
-              s.Arp.ss_function s.Arp.ss_checked s.Arp.ss_static
-              s.Arp.ss_api_calls)
+            Format.printf "    %-24s %3d checked, %3d elided, %3d static, %2d API@."
+              s.Arp.ss_function s.Arp.ss_checked s.Arp.ss_elided
+              s.Arp.ss_static s.Arp.ss_api_calls)
           (Arp.static_view ~mode app))
       Iso.all;
     0

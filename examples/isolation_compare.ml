@@ -32,7 +32,7 @@ let () =
       let checked, static =
         List.fold_left
           (fun (c, s) fi ->
-            ( c + fi.Amulet_cc.Codegen.fi_checked_sites,
+            ( c + fi.Amulet_cc.Codegen.fi_sites.Amulet_cc.Codegen.checked,
               s + fi.Amulet_cc.Codegen.fi_static_sites ))
           (0, 0) cu.Amulet_cc.Driver.infos
       in

@@ -34,7 +34,8 @@ let valid_name name =
    trampoline's exit-stub push, the gate return address, plus margin. *)
 let stack_margin = 64
 
-let build ~mode ?(shadow = false) specs =
+let build ~mode ?(shadow = false) ?(elide = true) specs =
+  let analyze = if elide then Some Amulet_analysis.Range.analyze else None in
   (* phase 0: validate *)
   let names = List.map (fun s -> s.name) specs in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -46,7 +47,8 @@ let build ~mode ?(shadow = false) specs =
      code generation against placeholder bound symbols) *)
   let compiled =
     List.map
-      (fun s -> (s, Driver.compile ~prefix:s.name ~mode ~shadow s.source))
+      (fun s ->
+        (s, Driver.compile ~prefix:s.name ~mode ~shadow ?analyze s.source))
       specs
   in
   (* phase 3: sections and stub generation (sizing pass) *)

@@ -34,10 +34,14 @@ exception Build_error of string
 val build :
   mode:Amulet_cc.Isolation.mode ->
   ?shadow:bool ->
+  ?elide:bool ->
   app_spec list ->
   firmware
 (** [shadow] additionally arms the shadow return-address stack in
     InfoMem (the paper's future-work hardening; works with any mode).
+    [elide] (default true) runs the range analysis so codegen can drop
+    guards at proven-safe dereference sites; pass [false] to measure
+    the unoptimized check cost.
     @raise Build_error on name clashes or layout overflow;
     @raise Amulet_cc.Srcloc.Error on source-level errors. *)
 

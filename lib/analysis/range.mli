@@ -1,0 +1,34 @@
+(** Value-range analysis over the typed AST.
+
+    Classifies every computed-address dereference site for
+    {!Amulet_cc.Codegen.gen_program}:
+
+    - [Proven_safe]: the final access address is provably inside the
+      accessed object for {e every} execution, by a derivation the
+      binary verifier (lib/analysis/verifier.ml) can independently
+      replay from the instruction stream.  Codegen elides the
+      run-time guard at such sites.
+    - [Proven_unsafe]: the access is out of bounds on every execution
+      that reaches it; reported eagerly as a compile error.
+    - [Needs_check]: everything else keeps the mode's run-time guard.
+
+    Two abstract interpretations run over each function body:
+
+    - a flow-sensitive pass tracking integer ranges and pointer
+      provenance of scalar locals (used to prove sites {e unsafe});
+    - a flow-insensitive "robust" evaluator that only accepts
+      derivations visible in the generated code itself — global
+      object bases, constants, [&]-masks, byte loads, power-of-two
+      scaling — (used to prove sites {e safe}).
+
+    The asymmetry is deliberate: an elided guard is only sound if the
+    independent verifier, which sees registers rather than variables,
+    can re-establish the bound.  See DESIGN.md. *)
+
+val analyze : Amulet_cc.Tast.program -> Amulet_cc.Codegen.classifier
+(** [analyze prog] inspects every function and returns the site
+    classifier to pass to {!Amulet_cc.Codegen.gen_program} (via
+    [Driver.compile ~analyze]).  Unknown locations map to
+    [Needs_check].
+
+    @raise Amulet_cc.Srcloc.Error for a proven-out-of-bounds access. *)

@@ -91,6 +91,7 @@ let overhead_cycles_per_week ~baseline profiled =
 type static_sites = {
   ss_function : string;
   ss_checked : int;
+  ss_elided : int;
   ss_static : int;
   ss_api_calls : int;
 }
@@ -98,13 +99,16 @@ type static_sites = {
 let static_view ~mode (app : Apps.app) =
   let spec = Apps.spec_for mode app in
   let cu =
-    Amulet_cc.Driver.compile ~prefix:spec.Aft.name ~mode spec.Aft.source
+    Amulet_cc.Driver.compile ~prefix:spec.Aft.name ~mode
+      ~analyze:Amulet_analysis.Range.analyze spec.Aft.source
   in
   List.map
     (fun fi ->
+      let s = fi.Amulet_cc.Codegen.fi_sites in
       {
         ss_function = fi.Amulet_cc.Codegen.fi_name;
-        ss_checked = fi.Amulet_cc.Codegen.fi_checked_sites;
+        ss_checked = s.Amulet_cc.Codegen.checked;
+        ss_elided = s.Amulet_cc.Codegen.elided;
         ss_static = fi.Amulet_cc.Codegen.fi_static_sites;
         ss_api_calls = List.length fi.Amulet_cc.Codegen.fi_api_calls;
       })

@@ -42,10 +42,12 @@ val overhead_cycles_per_week :
   baseline:app_profile -> app_profile -> float
 (** Isolation overhead = profiled week minus the no-isolation week. *)
 
-(** Static (phase-1) counts per function, from the compiler. *)
+(** Static (phase-1) counts per function, from the compiler (with the
+    range analysis enabled, so guards it elides are visible). *)
 type static_sites = {
   ss_function : string;
   ss_checked : int;
+  ss_elided : int;
   ss_static : int;
   ss_api_calls : int;
 }

@@ -4,13 +4,24 @@ module O = Amulet_mcu.Opcode
 module M = Amulet_mcu.Machine
 module T = Amulet_mcu.Timer
 
+(* Verdict of the (optional) range analysis for one dereference site,
+   keyed by the source location of the access expression. *)
+type site_class =
+  | Proven_safe  (* always in bounds: the guard can be elided *)
+  | Needs_check  (* unknown: emit the mode's run-time guard *)
+  | Proven_unsafe of string  (* always out of bounds: compile error *)
+
+type classifier = Srcloc.t -> site_class
+
+type site_stats = { checked : int; elided : int; proven_unsafe : int }
+
 type fn_info = {
   fi_name : string;
   fi_frame_bytes : int;
   fi_saved_regs : int;
   fi_calls : string list;
   fi_api_calls : string list;
-  fi_checked_sites : int;
+  fi_sites : site_stats;
   fi_static_sites : int;
   fi_fnptr_calls : int;
 }
@@ -31,6 +42,7 @@ type pctx = {
   prefix : string;
   mode : Isolation.mode;
   shadow : bool; (* shadow return-address stack *)
+  classify : classifier;
   env : Ctype.env;
   strings : (string, string) Hashtbl.t; (* contents -> label *)
   mutable string_counter : int;
@@ -68,6 +80,7 @@ type fctx = {
   mutable calls : string list;
   mutable api_calls : string list;
   mutable checked : int;
+  mutable elided : int;
   mutable statics : int;
   mutable fnptr : int;
   epilogue : string;
@@ -147,6 +160,19 @@ let emit_code_check c reg =
     ~lo_sym:(Isolation.code_lo_sym ~prefix:c.p.prefix)
     ~hi_sym:(Isolation.code_hi_sym ~prefix:c.p.prefix)
     ~lo_reason:Isolation.fault_code_ptr ~hi_reason:Isolation.fault_code_ptr
+
+(* Decide whether a computed-address access still needs its run-time
+   guard.  The range analysis (lib/analysis) classifies sites by
+   source location; without it every site is checked, as before. *)
+let dyn_needs_check c (loc : Srcloc.t) =
+  Isolation.checks_lower_bound c.p.mode
+  &&
+  match c.p.classify loc with
+  | Needs_check -> true
+  | Proven_safe ->
+    c.elided <- c.elided + 1;
+    false
+  | Proven_unsafe msg -> errf loc "%s" msg
 
 (* Feature-limited array-index check through the runtime helper. *)
 let emit_array_check c idx_reg len =
@@ -567,7 +593,7 @@ and eval_place c (e : texpr) : place =
     Pglobal (Isolation.mangle ~prefix:c.p.prefix name, 0, e.ty)
   | Tderef p ->
     let r = eval c p in
-    Pdyn (r, e.ty, Isolation.checks_lower_bound c.p.mode)
+    Pdyn (r, e.ty, dyn_needs_check c e.tloc)
   | Tindex (base, idx) -> eval_index_place c e base idx
   | Tmember (b, field) -> (
     let bp = eval_place c b in
@@ -583,7 +609,7 @@ and eval_place c (e : texpr) : place =
     let r = eval c p in
     if field.Ctype.foffset <> 0 then
       out c (A.add (A.imm field.Ctype.foffset) (A.Dreg r));
-    Pdyn (r, field.Ctype.ftype, Isolation.checks_lower_bound c.p.mode)
+    Pdyn (r, field.Ctype.ftype, dyn_needs_check c e.tloc)
   | Tcast (_, inner) -> eval_place c inner
   | Tstr s ->
     let label = intern_string c.p s in
@@ -620,14 +646,14 @@ and eval_index_place c e base idx =
     | _ ->
       free_reg c ri;
       (* base address is static; the scaled index makes it dynamic *)
-      Pdyn (rb, elem_ty, Isolation.checks_lower_bound c.p.mode))
+      Pdyn (rb, elem_ty, dyn_needs_check c e.tloc))
   | _ ->
     (* pointer indexing: p[i] == *(p + i) *)
     let rp, ri = eval_pair c base idx in
     emit_scale c ri elem_size;
     out c (A.add (A.Sreg ri) (A.Dreg rp));
     free_scratch c ri;
-    Pdyn (rp, elem_ty, Isolation.checks_lower_bound c.p.mode)
+    Pdyn (rp, elem_ty, dyn_needs_check c e.tloc)
 
 (* ------------------------------------------------------------------ *)
 (* Increment / decrement *)
@@ -922,7 +948,7 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
       p; fname = f.tfname; locals; frame_bytes = frame;
       buf = ref []; labels = 0; used = []; free = [ 5; 6; 7; 8; 9; 10; 11 ];
       breaks = []; continues = []; calls = []; api_calls = [];
-      checked = 0; statics = 0; fnptr = 0; epilogue;
+      checked = 0; elided = 0; statics = 0; fnptr = 0; epilogue;
     }
   in
   List.iter (gen_stmt c) f.tfbody;
@@ -1000,7 +1026,7 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
       fi_saved_regs = List.length saved;
       fi_calls = List.sort_uniq compare c.calls;
       fi_api_calls = List.rev c.api_calls;
-      fi_checked_sites = c.checked;
+      fi_sites = { checked = c.checked; elided = c.elided; proven_unsafe = 0 };
       fi_static_sites = c.statics;
       fi_fnptr_calls = c.fnptr;
     }
@@ -1073,10 +1099,11 @@ let fault_stubs prefix =
       Isolation.fault_shadow_stack;
     ]
 
-let gen_program ~prefix ~mode ?(shadow = false) (prog : Tast.program) : output =
+let gen_program ~prefix ~mode ?(shadow = false)
+    ?(classify = fun _ -> Needs_check) (prog : Tast.program) : output =
   let p =
     {
-      prefix; mode; shadow; env = prog.struct_env;
+      prefix; mode; shadow; classify; env = prog.struct_env;
       strings = Hashtbl.create 16; string_counter = 0;
       globals = Hashtbl.create 64; functions = Hashtbl.create 64;
     }

@@ -18,6 +18,23 @@
     The bound "constants" are the linker's section start/end symbols,
     resolved in AFT phase 4. *)
 
+(** Verdict of the range analysis (lib/analysis) for one dereference
+    site, identified by the source location of the access expression.
+    Without an analysis every site is [Needs_check]. *)
+type site_class =
+  | Proven_safe  (** always in bounds: the run-time guard is elided *)
+  | Needs_check  (** nothing proven: emit the mode's run-time guard *)
+  | Proven_unsafe of string
+      (** always out of bounds: compiling the site raises
+          {!Srcloc.Error} with this message *)
+
+type classifier = Srcloc.t -> site_class
+
+(** Per-function dereference-site accounting. [proven_unsafe] is only
+    ever non-zero in analysis results that are inspected without being
+    compiled; compiling a proven-unsafe site is an error. *)
+type site_stats = { checked : int; elided : int; proven_unsafe : int }
+
 (** Per-function facts for the call-graph, stack-depth analysis and
     the resource profiler. *)
 type fn_info = {
@@ -26,7 +43,7 @@ type fn_info = {
   fi_saved_regs : int;  (** callee-saved registers pushed *)
   fi_calls : string list;  (** direct in-unit callees *)
   fi_api_calls : string list;  (** OS API gates invoked *)
-  fi_checked_sites : int;  (** dereference sites given run-time checks *)
+  fi_sites : site_stats;  (** run-time-guarded vs elided dereferences *)
   fi_static_sites : int;  (** accesses discharged at compile time *)
   fi_fnptr_calls : int;
 }
@@ -38,13 +55,29 @@ type output = {
   handlers : string list;  (** functions named [handle_*] (event entry points) *)
 }
 
+val fold_const : Tast.texpr -> int option
+(** Exact 16-bit constant folding, reproducing the machine's
+    signedness rules; the range analysis must agree with codegen on
+    which indices are compile-time constants. *)
+
+val log2_exact : int -> int option
+(** [log2_exact n] is [Some k] iff [n = 2^k], [n > 0].  Exported so
+    the range analysis agrees with codegen on which multiplications
+    compile to ADD-doubling (and are therefore visible to the binary
+    verifier) rather than a [__mulhi] helper call. *)
+
 val gen_program :
   prefix:string ->
   mode:Isolation.mode ->
   ?shadow:bool ->
+  ?classify:classifier ->
   Tast.program ->
   output
-(** [shadow] enables the shadow return-address stack (an optional
+(** [classify] is consulted once per computed-address dereference site
+    (pointer deref, [->], dynamically-indexed array) in the modes that
+    insert guards; [Proven_safe] suppresses the guard.
+
+    [shadow] enables the shadow return-address stack (an optional
     hardening on top of any mode): prologues copy the return address
     into the InfoMem shadow stack, epilogues compare and fault on
     mismatch, replacing the plain bounds check on the return slot.

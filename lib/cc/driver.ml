@@ -12,14 +12,18 @@ type compiled = {
 
 let default_stack_bytes = 512
 
-let compile ~prefix ~mode ?(shadow = false) ?(extra_externals = []) source =
+let compile ~prefix ~mode ?(shadow = false) ?analyze ?(extra_externals = [])
+    source =
   let ast = Parser.parse source in
   Feature_check.check ~mode ast;
   let externals =
     Runtime.builtin_externals @ Apis.signatures @ extra_externals
   in
   let tast = Typecheck.check ~externals ast in
-  let out = Codegen.gen_program ~prefix ~mode ~shadow tast in
+  (* the range analysis runs between type checking and code generation
+     and may itself reject proven-out-of-bounds accesses *)
+  let classify = Option.map (fun f -> f tast) analyze in
+  let out = Codegen.gen_program ~prefix ~mode ~shadow ?classify tast in
   let roots =
     let mains =
       List.filter_map

@@ -20,9 +20,14 @@ val compile :
   prefix:string ->
   mode:Isolation.mode ->
   ?shadow:bool ->
+  ?analyze:(Tast.program -> Codegen.classifier) ->
   ?extra_externals:(string * Ctype.t) list ->
   string ->
   compiled
 (** Full pipeline: lex, parse, phase-1 feature check, type check,
     code generation with isolation checks, stack-depth analysis.
+    [analyze] (typically {!Amulet_analysis.Range.analyze}) runs after
+    type checking and classifies dereference sites so codegen can
+    elide guards proven redundant; it may raise {!Srcloc.Error} for
+    accesses proven out of bounds.
     @raise Srcloc.Error on any source-level problem. *)

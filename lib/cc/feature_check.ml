@@ -150,7 +150,8 @@ let call_edges (prog : Ast.program) =
     prog
 
 let find_recursion edges =
-  (* DFS with colors; returns the cycle path if found. *)
+  (* DFS with colors; returns the members of the first cycle found,
+     sorted so the diagnostic is independent of traversal order. *)
   let color = Hashtbl.create 16 in
   let cycle = ref None in
   let rec visit path f =
@@ -158,11 +159,13 @@ let find_recursion edges =
     | Some `Done -> ()
     | Some `Active ->
       if !cycle = None then begin
+        (* [path] carries the revisited node at its head; the cycle is
+           everything from there back to its earlier occurrence *)
         let rec cut = function
           | [] -> [ f ]
           | x :: rest -> if x = f then [ x ] else x :: cut rest
         in
-        cycle := Some (List.rev (cut path))
+        cycle := Some (List.sort_uniq compare (cut (List.tl path)))
       end
     | None ->
       Hashtbl.replace color f `Active;

@@ -15,7 +15,16 @@ let analyze infos ~root =
   let memo = Hashtbl.create 16 in
   let exception Cycle of string list in
   let rec depth path name =
-    if List.mem name path then raise (Cycle (List.rev (name :: path)));
+    if List.mem name path then begin
+      (* report exactly the members of the cycle (not the lead-in from
+         the root), sorted so the diagnostic is independent of
+         traversal order *)
+      let rec members acc = function
+        | [] -> acc
+        | x :: rest -> if x = name then x :: acc else members (x :: acc) rest
+      in
+      raise (Cycle (List.sort_uniq compare (members [] path)))
+    end;
     match Hashtbl.find_opt memo name with
     | Some d -> d
     | None ->

@@ -73,3 +73,66 @@ let rec is_lvalue e =
   | Tarrow _ -> true
   | Tcast (_, e) -> is_lvalue e
   | _ -> false
+
+(* Apply [f] to [e] and every sub-expression, outermost first. *)
+let rec iter_expr f e =
+  f e;
+  match e.te with
+  | Tnum _ | Tstr _ | Tlocal _ | Tglobal _ | Tfunc_name _ -> ()
+  | Tbin (_, a, b) | Tassign (a, b) | Top_assign (_, a, b) | Tindex (a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Tun (_, a)
+  | Tderef a
+  | Taddr a
+  | Tmember (a, _)
+  | Tarrow (a, _)
+  | Tpre_incr a
+  | Tpre_decr a
+  | Tpost_incr a
+  | Tpost_decr a
+  | Tcast (_, a) ->
+    iter_expr f a
+  | Tcond (a, b, c) ->
+    iter_expr f a;
+    iter_expr f b;
+    iter_expr f c
+  | Tcall (_, args) -> List.iter (iter_expr f) args
+  | Tcall_ptr (callee, args) ->
+    iter_expr f callee;
+    List.iter (iter_expr f) args
+
+(* Apply [decl] to every local declaration and [expr] to every
+   top-level expression of [s], recursing into nested statements. *)
+let rec iter_stmt ~decl ~expr s =
+  let stmts = List.iter (iter_stmt ~decl ~expr) in
+  match s with
+  | Tsexpr e -> expr e
+  | Tsdecl (name, ty, init) -> (
+    decl name ty;
+    match init with
+    | Some (Ti_expr e) -> expr e
+    | Some (Ti_list es) -> List.iter expr es
+    | Some (Ti_str _) | None -> ())
+  | Tsif (c, a, b) ->
+    expr c;
+    stmts a;
+    stmts b
+  | Tswhile (c, body) ->
+    expr c;
+    stmts body
+  | Tsdo_while (body, c) ->
+    stmts body;
+    expr c
+  | Tsfor (init, c, step, body) ->
+    Option.iter (iter_stmt ~decl ~expr) init;
+    Option.iter expr c;
+    Option.iter expr step;
+    stmts body
+  | Tsreturn e -> Option.iter expr e
+  | Tsbreak | Tscontinue -> ()
+  | Tsswitch (e, cases, default) ->
+    expr e;
+    List.iter (fun (_, b) -> stmts b) cases;
+    Option.iter stmts default
+  | Tsblock body -> stmts body

@@ -12,11 +12,13 @@ type table1_row = {
   t1_ctx_switch : float;  (** avg cycles per context switch (one way) *)
 }
 
-val table1 : ?runs:int -> unit -> table1_row list
+val table1 : ?runs:int -> ?elide:bool -> unit -> table1_row list
 (** Runs the synthetic app [runs] times (default 200, as in the paper)
     per operation per mode.  Per-operation cost is the difference
     against an empty handler of the same shape, divided by the number
-    of operations. *)
+    of operations.  [elide] defaults to [false] here: the paper's
+    compiler has no check elision, and the synthetic accesses are
+    exactly the kind the range analysis removes. *)
 
 (** {1 Figure 2 — weekly overhead and battery impact for nine apps} *)
 
@@ -52,6 +54,7 @@ val figure3 : ?runs:int -> unit -> figure3_row list
 
 val measure_handler :
   ?shadow:bool ->
+  ?elide:bool ->
   mode:Iso.mode ->
   app:Amulet_apps.Suite.app ->
   arg:int ->
@@ -59,7 +62,8 @@ val measure_handler :
   unit ->
   float
 (** Average cycles per dispatch of the app's [handle_button] with the
-    given argument; [shadow] arms the InfoMem shadow stack. *)
+    given argument; [shadow] arms the InfoMem shadow stack, [elide]
+    (default true) lets the range analysis drop proven guards. *)
 
 (** {1 Ablations beyond the paper} *)
 
@@ -84,3 +88,16 @@ val ablation_advanced_mpu : ?runs:int -> unit -> advanced_mpu_row
 (** Projection for the paper's envisioned "advanced MPU" that covers
     all memory with 4+ regions: per-access cost falls to the
     no-isolation figure, context switches keep the MPU price. *)
+
+type elision_row = {
+  el_mode : Iso.mode;
+  el_full : float;  (** cycles per run with every guard emitted *)
+  el_elided : float;  (** cycles per run with proven guards dropped *)
+  el_sites : int;  (** dereference sites whose guard was elided *)
+  el_saving_percent : float;
+}
+
+val ablation_elision : ?runs:int -> unit -> elision_row list
+(** Cost recovered by range-analysis bounds-check elision on the
+    synthetic memory benchmark, for the guard-inserting modes
+    (Software-Only and MPU). *)

@@ -364,15 +364,20 @@ let is_mpu_fault = function
 
 let fault_cases =
   [
+    (* the index reaches the access through a parameter so the range
+       analysis cannot prove it out of bounds at compile time: these
+       exercise the run-time __bounds_check helper *)
     Alcotest.test_case "FL: oob array write faults" `Quick
       (expect_stop ~mode:Cc.Isolation.Feature_limited
          "int a[4];\n\
-          int main() { int i = 6; a[i] = 1; return 0; }"
+          int set(int i) { a[i] = 1; return 0; }\n\
+          int main() { return set(6); }"
          (is_sw_fault Cc.Isolation.fault_array_bounds));
     Alcotest.test_case "FL: negative index faults" `Quick
       (expect_stop ~mode:Cc.Isolation.Feature_limited
          "int a[4];\n\
-          int main() { int i = -1; a[i] = 1; return 0; }"
+          int set(int i) { a[i] = 1; return 0; }\n\
+          int main() { return set(0 - 1); }"
          (is_sw_fault Cc.Isolation.fault_array_bounds));
     Alcotest.test_case "FL: in-bounds access passes" `Quick (fun () ->
         Test_support.Harness.check_main ~mode:Cc.Isolation.Feature_limited ~expect:5
@@ -441,6 +446,128 @@ let fault_cases =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Phase-1 feature check: exact diagnostics for each rejected feature *)
+
+let expect_msg expected f =
+  match f () with
+  | exception Cc.Srcloc.Error (_, msg) ->
+    Alcotest.(check string) "diagnostic" expected msg
+  | _ -> Alcotest.fail "expected a compile error"
+
+let fl_rejects expected src () =
+  expect_msg expected (fun () ->
+      Test_support.Harness.build ~mode:Cc.Isolation.Feature_limited src)
+
+let feature_check_cases =
+  [
+    Alcotest.test_case "FL diagnostic: deref" `Quick
+      (fl_rejects
+         "pointer dereference ('*') is not available in feature-limited mode"
+         "int main() { int x; return *x; }");
+    Alcotest.test_case "FL diagnostic: address-of" `Quick
+      (fl_rejects
+         "address-of ('&') is not available in feature-limited mode"
+         "int main() { int x; return &x; }");
+    Alcotest.test_case "FL diagnostic: arrow" `Quick
+      (fl_rejects "'->' is not available in feature-limited mode"
+         "int main() { int v; return v->f; }");
+    Alcotest.test_case "FL diagnostic: indirect call" `Quick
+      (fl_rejects "indirect calls are not available in feature-limited mode"
+         "int main() { int f; return (*f)(1); }");
+    Alcotest.test_case "FL diagnostic: pointer-typed global" `Quick
+      (fl_rejects
+         "global 'p' has a pointer type (int*): pointers are not available \
+          in feature-limited (AmuletC) mode"
+         "int *p;\nint main() { return 0; }");
+    Alcotest.test_case "FL diagnostic: self recursion" `Quick
+      (fl_rejects
+         "recursion is not available in feature-limited mode (cycle: f)"
+         "int f(int n) { if (n) return f(n - 1); return 0; }\n\
+          int main() { return f(3); }");
+    Alcotest.test_case "FL diagnostic: mutual recursion, sorted cycle" `Quick
+      (fl_rejects
+         "recursion is not available in feature-limited mode (cycle: a -> b)"
+         "int a(int n) { if (n) return b(n - 1); return 0; }\n\
+          int b(int n) { return a(n); }\n\
+          int main() { return a(3); }");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AFT stack-depth analysis on hand-built call graphs *)
+
+let fi ?(frame = 0) ?(saved = 0) name calls =
+  {
+    Cc.Codegen.fi_name = name;
+    fi_frame_bytes = frame;
+    fi_saved_regs = saved;
+    fi_calls = calls;
+    fi_api_calls = [];
+    fi_sites = { Cc.Codegen.checked = 0; elided = 0; proven_unsafe = 0 };
+    fi_static_sites = 0;
+    fi_fnptr_calls = 0;
+  }
+
+(* frame_cost of a leaf with no locals/saves: ret + FP + slack *)
+let leaf_cost = Cc.Stack_depth.frame_cost (fi "leaf" [])
+
+let check_depth name expected got =
+  Alcotest.(check bool)
+    name true
+    (match (expected, got) with
+    | Cc.Stack_depth.Finite a, Cc.Stack_depth.Finite b -> a = b
+    | Cc.Stack_depth.Recursive a, Cc.Stack_depth.Recursive b -> a = b
+    | _ -> false)
+
+let test_depth_chain () =
+  let infos = [ fi "main" [ "f" ]; fi "f" [ "g" ]; fi "g" [] ] in
+  check_depth "three-deep chain"
+    (Cc.Stack_depth.Finite (3 * leaf_cost))
+    (Cc.Stack_depth.analyze infos ~root:"main")
+
+let test_depth_frame_cost () =
+  Alcotest.(check int)
+    "locals and saved registers" (leaf_cost + 10 + (2 * 3))
+    (Cc.Stack_depth.frame_cost (fi ~frame:10 ~saved:3 "f" []))
+
+let test_depth_external_callee () =
+  (* callees outside the unit (OS gates, runtime helpers) account for
+     their own stack; the caller only pays its own frame *)
+  check_depth "external callee"
+    (Cc.Stack_depth.Finite leaf_cost)
+    (Cc.Stack_depth.analyze [ fi "main" [ "__gate_log" ] ] ~root:"main")
+
+let mutual = [ fi "main" [ "a" ]; fi "a" [ "b" ]; fi "b" [ "a" ] ]
+
+let test_depth_mutual_recursion () =
+  (* the cycle report names exactly the cycle members, sorted — not
+     the lead-in from the root, whatever the traversal order *)
+  check_depth "from main"
+    (Cc.Stack_depth.Recursive [ "a"; "b" ])
+    (Cc.Stack_depth.analyze mutual ~root:"main");
+  check_depth "from inside the cycle"
+    (Cc.Stack_depth.Recursive [ "a"; "b" ])
+    (Cc.Stack_depth.analyze mutual ~root:"b")
+
+let test_depth_worst_case_default () =
+  let infos = mutual @ [ fi "solo" [] ] in
+  Alcotest.(check int)
+    "recursive root falls back to default" 512
+    (Cc.Stack_depth.worst_case infos ~roots:[ "main"; "solo" ] ~default:512);
+  Alcotest.(check int)
+    "finite root can exceed the default" leaf_cost
+    (Cc.Stack_depth.worst_case infos ~roots:[ "main"; "solo" ] ~default:10)
+
+let stack_depth_cases =
+  [
+    Alcotest.test_case "frame cost" `Quick test_depth_frame_cost;
+    Alcotest.test_case "finite chain" `Quick test_depth_chain;
+    Alcotest.test_case "external callee" `Quick test_depth_external_callee;
+    Alcotest.test_case "mutual recursion" `Quick test_depth_mutual_recursion;
+    Alcotest.test_case "worst-case default" `Quick
+      test_depth_worst_case_default;
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "cc"
@@ -460,4 +587,5 @@ let () =
       ("semantics", semantics_cases);
       ("modes", cross_mode_cases @ pointer_mode_cases @ recursion_mode_cases);
       ("faults", fault_cases);
+      ("phase1", feature_check_cases @ stack_depth_cases);
     ]
