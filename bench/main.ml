@@ -142,6 +142,72 @@ let run_ablations () =
      the independent binary verifier re-checks the resulting images)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: zero-cycle overhead + profiler exactness *)
+
+let run_observability () =
+  section "Observability: tracing overhead and profiler exactness";
+  let module Aft = Amulet_aft.Aft in
+  let module Os = Amulet_os in
+  let module Obs = Amulet_obs.Obs in
+  let module Apps = Amulet_apps.Suite in
+  let app = List.find (fun a -> a.Apps.name = "pedometer") Apps.all in
+  let seconds = 5 in
+  let run ?obs () =
+    let fw = Aft.build ~mode:Iso.Mpu_assisted [ Apps.spec_for Iso.Mpu_assisted app ] in
+    let k = Os.Kernel.create ~scenario:Os.Sensors.Walking ?obs fw in
+    let _ = Os.Kernel.run_for_ms k (seconds * 1000) in
+    (Amulet_mcu.Machine.cycles k.Os.Kernel.machine, k)
+  in
+  (* 1. no observability at all *)
+  let bare, _ = run () in
+  (* 2. context attached, no sinks, no profiler *)
+  let plain_obs = Obs.create () in
+  let attached, _ = run ~obs:plain_obs () in
+  Obs.close plain_obs;
+  (* 3. full tracing: JSONL sink + cycle profiler *)
+  let obs = Obs.create () in
+  let buf = Buffer.create 65536 in
+  Obs.add_sink obs (Obs.jsonl_buffer_sink buf);
+  let fw = Aft.build ~mode:Iso.Mpu_assisted [ Apps.spec_for Iso.Mpu_assisted app ] in
+  Obs.enable_profile obs fw;
+  let k = Os.Kernel.create ~scenario:Os.Sensors.Walking ~obs fw in
+  let _ = Os.Kernel.run_for_ms k (seconds * 1000) in
+  let traced = Amulet_mcu.Machine.cycles k.Os.Kernel.machine in
+  Obs.close obs;
+  Printf.printf
+    "pedometer, mpu mode, %d virtual s: %d cycles bare, %d attached, %d fully traced\n"
+    seconds bare attached traced;
+  if bare <> attached || bare <> traced then
+    failwith
+      (Printf.sprintf
+         "tracing is not free: %d cycles bare vs %d attached vs %d traced"
+         bare attached traced);
+  Printf.printf "tracing overhead: 0 cycles (asserted)\n";
+  let p =
+    match Obs.profile obs with Some p -> p | None -> failwith "no profiler"
+  in
+  let r = Amulet_obs.Profile.report p ~machine:k.Os.Kernel.machine in
+  if r.Amulet_obs.Profile.r_total <> r.Amulet_obs.Profile.r_machine then
+    failwith
+      (Printf.sprintf "profiler total %d <> machine cycles %d"
+         r.Amulet_obs.Profile.r_total r.Amulet_obs.Profile.r_machine);
+  Printf.printf
+    "profiler accounts for every cycle: %d classified = %d machine (exact)\n"
+    r.Amulet_obs.Profile.r_total r.Amulet_obs.Profile.r_machine;
+  Printf.printf "\nmeasured isolation-cost breakdown (single run):\n";
+  List.iter
+    (fun (cat, cycles) ->
+      Printf.printf "  %-16s %8d cycles  (%5.1f %%)\n"
+        (Amulet_obs.Profile.category_name cat)
+        cycles
+        (100.0 *. float_of_int cycles /. float_of_int (max 1 traced)))
+    r.Amulet_obs.Profile.r_cats;
+  Printf.printf "  %-16s %8d cycles\n" "host services"
+    r.Amulet_obs.Profile.r_host_cycles;
+  Printf.printf "trace: %d JSONL records captured\n"
+    (List.length (Amulet_obs.Summary.of_string (Buffer.contents buf)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate *)
 
 let loop_machine () =
@@ -239,5 +305,6 @@ let () =
   run_figure3 ();
   run_figure2 ();
   run_ablations ();
+  run_observability ();
   bechamel_benches ();
   Printf.printf "\ndone.\n"

@@ -1,0 +1,47 @@
+(* amulet_prof: read a trace written by `amulet_sim --trace` (Chrome
+   trace_event JSON or JSONL) and print an aggregated report: span
+   statistics, counter maxima, API instant counts and faults. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let report_cmd file =
+  try
+    let records = Amulet_obs.Summary.of_string (read_file file) in
+    if records = [] then begin
+      Format.eprintf "%s: no trace records found@." file;
+      1
+    end
+    else begin
+      Format.printf "%a" Amulet_obs.Summary.pp_report records;
+      0
+    end
+  with
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    1
+  | Amulet_obs.Json.Parse_error msg ->
+    Format.eprintf "%s: malformed trace: %s@." file msg;
+    1
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE" ~doc:"Trace file (Chrome JSON or JSONL).")
+
+let report =
+  let doc = "aggregate a trace into per-span/counter statistics" in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const report_cmd $ file_arg)
+
+let cmd =
+  let doc = "inspect amulet_sim execution traces" in
+  Cmd.group (Cmd.info "amulet_prof" ~doc) [ report ]
+
+let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,7 @@ module Iso = Amulet_cc.Isolation
 module Aft = Amulet_aft.Aft
 module Os = Amulet_os
 module Apps = Amulet_apps.Suite
+module Obs = Amulet_obs.Obs
 
 let mode_conv =
   let parse s =
@@ -51,11 +52,27 @@ let spec_of mode arg =
       source = read_file arg;
     }
 
-let run_cmd mode scenario seconds apps =
+let run_cmd mode scenario seconds trace trace_format profile apps =
   try
     let specs = List.map (spec_of mode) apps in
     let fw = Aft.build ~mode specs in
-    let k = Os.Kernel.create ~scenario fw in
+    let obs =
+      if trace <> None || profile then begin
+        let obs = Obs.create () in
+        (match trace with
+        | Some path ->
+          let oc = open_out path in
+          Obs.add_sink obs
+            (match trace_format with
+            | `Chrome -> Obs.chrome_sink oc
+            | `Jsonl -> Obs.jsonl_sink oc)
+        | None -> ());
+        if profile then Amulet_obs.Obs.enable_profile obs fw;
+        Some obs
+      end
+      else None
+    in
+    let k = Os.Kernel.create ~scenario ?obs fw in
     let records = Os.Kernel.run_for_ms k (seconds * 1000) in
     Format.printf "mode %s, scenario driven for %d virtual seconds@."
       (Iso.name mode) seconds;
@@ -69,12 +86,15 @@ let run_cmd mode scenario seconds apps =
         (match st.Os.Kernel.last_fault with
         | Some f -> Format.printf "  last fault: %s@." f
         | None -> ());
-        Hashtbl.iter
-          (fun handler s ->
+        List.iter
+          (fun (handler, (s : Os.Kernel.handler_stats)) ->
             Format.printf "  %-18s %6d events, avg %5d cycles@." handler
               s.Os.Kernel.hs_count
               (s.Os.Kernel.hs_cycles / max 1 s.Os.Kernel.hs_count))
-          st.Os.Kernel.stats)
+          (Os.Kernel.handler_profiles st);
+        match st.Os.Kernel.last_forensics with
+        | Some dump -> Format.printf "%s" dump
+        | None -> ())
       k.Os.Kernel.apps;
     Format.printf "@.display:@.";
     for i = 0 to 3 do
@@ -82,6 +102,19 @@ let run_cmd mode scenario seconds apps =
     done;
     let log = Os.Kernel.log_contents k in
     Format.printf "log: %d bytes@." (String.length log);
+    (match obs with
+    | Some obs ->
+      (match Obs.profile obs with
+      | Some p ->
+        Format.printf "@.%a"
+          Amulet_obs.Profile.pp_report
+          (Amulet_obs.Profile.report p ~machine:k.Os.Kernel.machine)
+      | None -> ());
+      Obs.close obs;
+      (match trace with
+      | Some path -> Format.printf "trace written to %s@." path
+      | None -> ())
+    | None -> ());
     0
   with
   | Amulet_cc.Srcloc.Error (loc, msg) ->
@@ -115,6 +148,30 @@ let seconds_arg =
     & info [ "t"; "seconds" ] ~docv:"SECONDS"
         ~doc:"Virtual seconds to simulate.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write an execution trace to $(docv).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace format: $(b,chrome) (trace_event JSON, loadable in \
+           Perfetto) or $(b,jsonl) (one record per line).")
+
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Classify every executed cycle into app code / bounds guards / OS \
+           gate / MPU reconfig / kernel and print the breakdown.")
+
 let apps_arg =
   Arg.(
     non_empty & pos_all string []
@@ -127,6 +184,8 @@ let cmd =
   let doc = "run applications on the simulated Amulet platform" in
   Cmd.v
     (Cmd.info "amulet_sim" ~doc)
-    Term.(const run_cmd $ mode_arg $ scenario_arg $ seconds_arg $ apps_arg)
+    Term.(
+      const run_cmd $ mode_arg $ scenario_arg $ seconds_arg $ trace_arg
+      $ trace_format_arg $ profile_arg $ apps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,6 +6,44 @@ module Iso = Amulet_cc.Isolation
 module Arp = Amulet_arp.Arp
 module Energy = Amulet_arp.Energy
 module Apps = Amulet_apps.Suite
+module Obs = Amulet_obs.Obs
+module Summary = Amulet_obs.Summary
+
+(* Profile one mode while streaming the kernel's dispatch spans to a
+   JSONL buffer, then hand back both the ARP aggregate and the parsed
+   trace records. *)
+let profile_with_trace ~warmup ~mode app =
+  let obs = Obs.create () in
+  let buf = Buffer.create 4096 in
+  Obs.add_sink obs (Obs.jsonl_buffer_sink buf);
+  let p = Arp.profile_app ~warmup_ms:warmup ~obs ~mode app in
+  Obs.close obs;
+  (p, Summary.of_string (Buffer.contents buf))
+
+(* ARP-view per-state accounting, recovered from the trace: each
+   dispatch span is attributed to the value of the app's [state]
+   global when the event arrived. *)
+let per_state_accounting records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | Obs.Span { name = handler; cat = "dispatch"; dur; _ } -> (
+        match Obs.int_arg r "state" with
+        | None -> ()
+        | Some state ->
+          let count, cycles, accesses =
+            Option.value
+              (Hashtbl.find_opt tbl (state, handler))
+              ~default:(0, 0, 0)
+          in
+          let reads = Option.value (Obs.int_arg r "reads") ~default:0 in
+          let writes = Option.value (Obs.int_arg r "writes") ~default:0 in
+          Hashtbl.replace tbl (state, handler)
+            (count + 1, cycles + dur, accesses + reads + writes))
+      | _ -> ())
+    records;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 let profile_cmd app_name warmup =
   match List.find_opt (fun a -> a.Apps.name = app_name) Apps.all with
@@ -14,16 +52,16 @@ let profile_cmd app_name warmup =
       (String.concat ", " (List.map (fun a -> a.Apps.name) Apps.all));
     1
   | Some app ->
-    let baseline =
-      Arp.profile_app ~warmup_ms:warmup ~mode:Iso.No_isolation app
+    let baseline, baseline_records =
+      profile_with_trace ~warmup ~mode:Iso.No_isolation app
     in
     Format.printf "ARP report for %s (%d ms warm-up)@." app.Apps.display_name
       warmup;
     List.iter
       (fun mode ->
-        let p =
-          if mode = Iso.No_isolation then baseline
-          else Arp.profile_app ~warmup_ms:warmup ~mode app
+        let p, records =
+          if mode = Iso.No_isolation then (baseline, baseline_records)
+          else profile_with_trace ~warmup ~mode app
         in
         Format.printf "@.[%s]@." (Iso.name mode);
         List.iter
@@ -41,25 +79,19 @@ let profile_cmd app_name warmup =
           (p.Arp.ap_cycles_per_week /. 1e9)
           (overhead /. 1e9)
           (Energy.battery_impact_percent ~overhead_cycles_per_week:overhead);
-        (* ARP-view per-state accounting, when the app has a state machine *)
-        let fw2 = Amulet_aft.Aft.build ~mode [ Apps.spec_for mode app ] in
-        let k2 =
-          Amulet_os.Kernel.create ~scenario:Amulet_os.Sensors.Walking fw2
-        in
-        let _ = Amulet_os.Kernel.run_for_ms k2 20_000 in
-        let st = Amulet_os.Kernel.app_by_name k2 app.Apps.name in
-        (match Amulet_os.Kernel.state_profile st with
+        (* ARP-view per-state accounting, when the app has a state
+           machine — read back from the same run's trace records *)
+        (match per_state_accounting records with
         | [] -> ()
         | states ->
           Format.printf "  per-state accounting (ARP-view):@.";
           List.iter
-            (fun ((state, handler), s) ->
+            (fun ((state, handler), (count, cycles, accesses)) ->
               Format.printf
                 "    state %d / %-16s %5d events, avg %5d cycles, %4d accesses@."
-                state handler s.Amulet_os.Kernel.hs_count
-                (s.Amulet_os.Kernel.hs_cycles / max 1 s.Amulet_os.Kernel.hs_count)
-                ((s.Amulet_os.Kernel.hs_reads + s.Amulet_os.Kernel.hs_writes)
-                / max 1 s.Amulet_os.Kernel.hs_count))
+                state handler count
+                (cycles / max 1 count)
+                (accesses / max 1 count))
             states);
         Format.printf "  static check sites (AFT phase 1):@.";
         List.iter

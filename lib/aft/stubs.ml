@@ -55,31 +55,40 @@ let saved_regs = [ 4; 5; 6; 7; 8; 9; 10; 11 ]
 
 let mpu_disable = 0xA500 (* password, MPUENA clear *)
 
+(* Zero-size markers bracketing each MPU-reconfiguration sequence so
+   profilers can attribute its cycles.  [tag] must be unique per
+   emission site (labels become global linker symbols). *)
+let mpu_marker tag part = Printf.sprintf "__mpu$%s$%s" tag part
+
 (* Reconfiguration must disable the MPU first: updating the boundary
    registers one at a time would otherwise leave a transiently
    inconsistent segment map that faults the very code (or slot reads)
    performing the switch. *)
-let write_mpu_imm cfg =
+let write_mpu_imm ~tag cfg =
   [
+    A.label (mpu_marker tag "b");
     A.mov (A.imm mpu_disable) (A.Dabs (A.Num Mpu.ctl0_addr));
     A.mov (A.imm cfg.b1) (A.Dabs (A.Num Mpu.segb1_addr));
     A.mov (A.imm cfg.b2) (A.Dabs (A.Num Mpu.segb2_addr));
     A.mov (A.imm cfg.sam) (A.Dabs (A.Num Mpu.sam_addr));
     A.mov (A.imm mpu_unlock) (A.Dabs (A.Num Mpu.ctl0_addr));
+    A.label (mpu_marker tag "e");
   ]
 
-let write_mpu_from_slots =
+let write_mpu_from_slots ~tag =
   [
+    A.label (mpu_marker tag "b");
     A.mov (A.imm mpu_disable) (A.Dabs (A.Num Mpu.ctl0_addr));
     A.mov (A.Sabs (A.Sym slot_b1)) (A.Dabs (A.Num Mpu.segb1_addr));
     A.mov (A.Sabs (A.Sym slot_b2)) (A.Dabs (A.Num Mpu.segb2_addr));
     A.mov (A.Sabs (A.Sym slot_sam)) (A.Dabs (A.Num Mpu.sam_addr));
     A.mov (A.imm mpu_unlock) (A.Dabs (A.Num Mpu.ctl0_addr));
+    A.label (mpu_marker tag "e");
   ]
 
 let osreturn ~mode ~os_cfg =
   [ A.label "__osreturn" ]
-  @ (if Iso.uses_mpu mode then write_mpu_imm os_cfg else [])
+  @ (if Iso.uses_mpu mode then write_mpu_imm ~tag:"osret" os_cfg else [])
   @ (if Iso.separate_stacks mode then
        [ A.mov (A.Sabs (A.Sym slot_os_sp)) (A.Dreg A.r_sp) ]
      else [])
@@ -88,7 +97,8 @@ let osreturn ~mode ~os_cfg =
 let gate ~mode ~os_cfg ~svc name =
   [ A.label (Amulet_cc.Apis.gate_label name) ]
   @ List.map (fun r -> A.push (A.Sreg r)) saved_regs
-  @ (if Iso.uses_mpu mode then write_mpu_imm os_cfg else [])
+  @ (if Iso.uses_mpu mode then write_mpu_imm ~tag:("g_" ^ name) os_cfg
+     else [])
   @ (if Iso.separate_stacks mode then
        [
          A.mov (A.Sreg A.r_sp) (A.Dabs (A.Sym slot_app_sp));
@@ -99,7 +109,8 @@ let gate ~mode ~os_cfg ~svc name =
   @ (if Iso.separate_stacks mode then
        [ A.mov (A.Sabs (A.Sym slot_app_sp)) (A.Dreg A.r_sp) ]
      else [])
-  @ (if Iso.uses_mpu mode then write_mpu_from_slots else [])
+  @ (if Iso.uses_mpu mode then write_mpu_from_slots ~tag:("gx_" ^ name)
+     else [])
   @ List.map (fun r -> A.pop r) (List.rev saved_regs)
   @ [ A.ret ]
 
@@ -135,7 +146,7 @@ let trampoline ~mode ?(shadow = false) ~name ~cfg ~stack_top () =
          A.mov (A.imm cfg.b2) (A.Dabs (A.Sym slot_b2));
          A.mov (A.imm cfg.sam) (A.Dabs (A.Sym slot_sam));
        ]
-       @ write_mpu_imm cfg
+       @ write_mpu_imm ~tag:("t_" ^ name) cfg
      else [])
   @ (if Iso.separate_stacks mode then
        [ A.mov (A.imm stack_top) (A.Dreg A.r_sp) ]

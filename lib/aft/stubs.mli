@@ -65,3 +65,8 @@ val exit_stub : name:string -> A.item list
 
 val tramp_label : string -> string
 val exit_label : string -> string
+
+val mpu_marker : string -> string -> string
+(** [mpu_marker tag part] is the zero-size symbol
+    [__mpu$<tag>$<part>] ([part] is ["b"] or ["e"]) bracketing each
+    MPU-reconfiguration sequence for cycle attribution. *)

@@ -44,10 +44,10 @@ let rates_of_app (app : Os.Kernel.app_state) =
   in
   sensor_rates @ timer_rate
 
-let profile_app ?(scenario = Os.Sensors.Walking) ?(warmup_ms = 90_000) ~mode
-    (app : Apps.app) =
+let profile_app ?(scenario = Os.Sensors.Walking) ?(warmup_ms = 90_000) ?obs
+    ~mode (app : Apps.app) =
   let fw = Aft.build ~mode [ Apps.spec_for mode app ] in
-  let k = Os.Kernel.create ~scenario fw in
+  let k = Os.Kernel.create ~scenario ?obs fw in
   let _ = Os.Kernel.run_for_ms k warmup_ms in
   let st = Os.Kernel.app_by_name k app.Apps.name in
   (match st.Os.Kernel.last_fault with

@@ -30,12 +30,16 @@ type app_profile = {
 val profile_app :
   ?scenario:Amulet_os.Sensors.scenario ->
   ?warmup_ms:int ->
+  ?obs:Amulet_obs.Obs.t ->
   mode:Amulet_cc.Isolation.mode ->
   Amulet_apps.Suite.app ->
   app_profile
 (** Build a single-app firmware, run the app for the warm-up window
     (default 90 virtual seconds, enough for every app
-    timer to fire), and extrapolate to a week.
+    timer to fire), and extrapolate to a week.  With [obs], the
+    kernel run streams dispatch spans into the context, so callers
+    can derive further views (e.g. per-state accounting) from the
+    trace records instead of re-running the app.
     @raise Failure if the app faults while being profiled. *)
 
 val overhead_cycles_per_week :

@@ -128,13 +128,34 @@ let free_place c = function Pdyn (r, _, _) -> free_reg c r | _ -> ()
 
 (* Inserted run-time checks.  Pattern: compare, skip-if-ok, long
    branch to the per-app fault stub (so stub distance never breaks the
-   short-jump range). *)
+   short-jump range).
+
+   Every guard sequence is bracketed by a zero-size [$gs]/[$ge] label
+   pair so profilers can attribute its cycles from the symbol table. *)
+
+let guard_labels c =
+  c.labels <- c.labels + 1;
+  let base =
+    Printf.sprintf "%s$L%d"
+      (Isolation.mangle ~prefix:c.p.prefix c.fname)
+      c.labels
+  in
+  (base ^ Isolation.guard_start_suffix, base ^ Isolation.guard_end_suffix)
+
+let wrap_guard c items =
+  if items = [] then []
+  else begin
+    let gs, ge = guard_labels c in
+    (A.label gs :: items) @ [ A.label ge ]
+  end
 
 let emit_check c reg ~lo_sym ~hi_sym ~lo_reason ~hi_reason =
   let prefix = c.p.prefix in
   let mode = c.p.mode in
   if Isolation.checks_lower_bound mode then begin
     c.checked <- c.checked + 1;
+    let gs, ge = guard_labels c in
+    out c (A.label gs);
     let ok = fresh c "cklo" in
     out c (A.cmp (A.Simm (A.Sym lo_sym)) (A.Dreg reg));
     out c (A.jcc O.JC ok); (* unsigned >= lower bound: fine *)
@@ -146,7 +167,8 @@ let emit_check c reg ~lo_sym ~hi_sym ~lo_reason ~hi_reason =
       out c (A.jcc O.JNC ok2); (* unsigned < upper bound: fine *)
       out c (A.br (A.Sym (Isolation.fault_stub_label ~prefix hi_reason)));
       out c (A.label ok2)
-    end
+    end;
+    out c (A.label ge)
   end
 
 let emit_data_check c reg =
@@ -177,9 +199,12 @@ let dyn_needs_check c (loc : Srcloc.t) =
 (* Feature-limited array-index check through the runtime helper. *)
 let emit_array_check c idx_reg len =
   c.checked <- c.checked + 1;
+  let gs, ge = guard_labels c in
+  out c (A.label gs);
   out c (A.mov (A.Sreg idx_reg) (A.Dreg 14));
   out c (A.mov (A.imm len) (A.Dreg 15));
-  out c (A.call "__bounds_check")
+  out c (A.call "__bounds_check");
+  out c (A.label ge)
 
 (* Discharge the pending check of a dynamic place (before its first
    access); returns a place that will not be checked again. *)
@@ -958,12 +983,13 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
     (* copy the return address (at 0(SP) on entry) to the InfoMem
        shadow stack; R15 is caller-save and dead at this point *)
     if p.shadow then
-      [
-        A.mov (A.Sabs (A.Num Isolation.shadow_sp_addr)) (A.Dreg 15);
-        A.mov (A.Sind A.r_sp) (A.Didx (15, A.Num 0));
-        A.add (A.imm 2) (A.Dreg 15);
-        A.mov (A.Sreg 15) (A.Dabs (A.Num Isolation.shadow_sp_addr));
-      ]
+      wrap_guard c
+        [
+          A.mov (A.Sabs (A.Num Isolation.shadow_sp_addr)) (A.Dreg 15);
+          A.mov (A.Sind A.r_sp) (A.Didx (15, A.Num 0));
+          A.add (A.imm 2) (A.Dreg 15);
+          A.mov (A.Sreg 15) (A.Dabs (A.Num Isolation.shadow_sp_addr));
+        ]
     else []
   in
   let prologue =
@@ -976,16 +1002,17 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
   let shadow_check =
     if p.shadow then
       let ok = mangled ^ "$$shok" in
-      [
-        A.mov (A.Sabs (A.Num Isolation.shadow_sp_addr)) (A.Dreg 15);
-        A.sub (A.imm 2) (A.Dreg 15);
-        A.mov (A.Sreg 15) (A.Dabs (A.Num Isolation.shadow_sp_addr));
-        A.cmp (A.Sind 15) (A.Didx (A.r_sp, A.Num 0));
-        A.jcc O.JEQ ok;
-        A.br (A.Sym (Isolation.fault_stub_label ~prefix:p.prefix
-                       Isolation.fault_shadow_stack));
-        A.label ok;
-      ]
+      wrap_guard c
+        [
+          A.mov (A.Sabs (A.Num Isolation.shadow_sp_addr)) (A.Dreg 15);
+          A.sub (A.imm 2) (A.Dreg 15);
+          A.mov (A.Sreg 15) (A.Dabs (A.Num Isolation.shadow_sp_addr));
+          A.cmp (A.Sind 15) (A.Didx (A.r_sp, A.Num 0));
+          A.jcc O.JEQ ok;
+          A.br (A.Sym (Isolation.fault_stub_label ~prefix:p.prefix
+                         Isolation.fault_shadow_stack));
+          A.label ok;
+        ]
     else []
   in
   let ret_check =
@@ -1008,7 +1035,7 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
         outi (A.br (A.Sym (Isolation.fault_stub_label ~prefix Isolation.fault_ret_addr)));
         outi (A.label ok2)
       end;
-      List.rev !items
+      wrap_guard c (List.rev !items)
     end
     else []
   in

@@ -52,5 +52,8 @@ let fault_shadow_stack = 6
 let shadow_sp_addr = 0x1800
 let shadow_base = 0x1802
 
+let guard_start_suffix = "$gs"
+let guard_end_suffix = "$ge"
+
 let fault_stub_label ~prefix reason =
   Printf.sprintf "%s$$fault%d" (if prefix = "" then "os" else prefix) reason

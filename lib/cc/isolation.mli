@@ -67,5 +67,14 @@ val fault_shadow_stack : int
 val shadow_sp_addr : int
 val shadow_base : int
 
+val guard_start_suffix : string
+val guard_end_suffix : string
+(** Every compiler-inserted guard sequence (bounds checks, return
+    checks, shadow-stack pushes) is bracketed by a label pair whose
+    names end in these suffixes.  The labels are zero-size, so they
+    change no addresses or cycle counts; profilers recover the guard
+    address ranges from the image symbol table by pairing
+    [<x>$gs]/[<x>$ge]. *)
+
 val fault_stub_label : prefix:string -> int -> string
 (** Label of the per-app fault stub for a reason code. *)

@@ -147,7 +147,18 @@ let bounds_check =
     A.jmp "bc$fail";
   ]
 
-let items = mulhi @ udivmod @ umodhi @ divhi @ modhi @ shifts @ bounds_check
+(* Zero-size marker symbols bracketing the helper ranges, so profilers
+   can attribute helper cycles: the arithmetic helpers count as app
+   work, [__bounds_check] as guard work. *)
+let rt_begin = "__rt$b"
+let rt_end = "__rt$e"
+let bc_begin = "__bc$b"
+let bc_end = "__bc$e"
+
+let items =
+  (l rt_begin :: (mulhi @ udivmod @ umodhi @ divhi @ modhi @ shifts))
+  @ (l bc_begin :: bounds_check)
+  @ [ l bc_end; l rt_end ]
 
 let builtin_externals =
   [

@@ -16,6 +16,15 @@ val items : Amulet_link.Asm.item list
     [__divhi], [__modhi], [__shlhi], [__shrhi], [__sarhi],
     [__bounds_check]. *)
 
+(** Marker symbols bracketing helper ranges for cycle attribution:
+    [\[rt_begin, rt_end)] covers all helpers (app work), the nested
+    [\[bc_begin, bc_end)] covers [__bounds_check] (guard work). *)
+
+val rt_begin : string
+val rt_end : string
+val bc_begin : string
+val bc_end : string
+
 val builtin_externals : (string * Ctype.t) list
 (** Type signatures of the compiler builtins ([__halt], [__putc],
     [__timer_start], [__timer_read]) for the type checker. *)

@@ -7,6 +7,41 @@ type t = {
 let symbol t name = List.assoc name t.symbols
 let has_symbol t name = List.mem_assoc name t.symbols
 
+let chunk_containing t addr =
+  List.find_opt
+    (fun (base, b) -> addr >= base && addr < base + Bytes.length b)
+    t.chunks
+
+let span t name =
+  match List.assoc_opt name t.symbols with
+  | None -> None
+  | Some addr -> (
+    match chunk_containing t addr with
+    | None -> Some (addr, addr)
+    | Some (base, b) ->
+      let chunk_end = base + Bytes.length b in
+      let next =
+        List.fold_left
+          (fun acc (_, a) -> if a > addr && a < acc then a else acc)
+          chunk_end t.symbols
+      in
+      Some (addr, next))
+
+let nearest_symbol t addr =
+  List.fold_left
+    (fun acc (name, a) ->
+      if a > addr then acc
+      else
+        match acc with
+        | Some (_, best) when best >= a -> acc
+        | _ ->
+          (* prefer start-of-range names over end markers at equal addr *)
+          if String.length name > 5
+             && String.sub name (String.length name - 5) 5 = "__end"
+          then acc
+          else Some (name, a))
+    None t.symbols
+
 let load t machine =
   List.iter
     (fun (addr, data) -> Amulet_mcu.Machine.load_bytes machine ~addr data)

@@ -17,4 +17,13 @@ val load : t -> Amulet_mcu.Machine.t -> unit
 
 val total_bytes : t -> int
 
+val span : t -> string -> (int * int) option
+(** [span t name] is the half-open address range [\[addr, next)] from
+    the symbol to the next strictly-greater symbol in the same chunk
+    (or the chunk end).  [None] when the symbol is undefined. *)
+
+val nearest_symbol : t -> int -> (string * int) option
+(** Greatest symbol at or below an address (skipping [..__end]
+    markers) — used to name the code that owns a PC. *)
+
 val pp_symbols : Format.formatter -> t -> unit

@@ -85,18 +85,24 @@ let peripheral_read t width addr =
 
 let peripheral_write t width addr v =
   let v = Word.norm width v in
-  emit t (Trace.Io_write { addr; value = v });
   if Mpu.handles addr then begin
+    (* The MPU's password check comes first: a rejected or ignored
+       write must not appear in traces as if it happened. *)
     match Mpu.mmio_write t.mpu addr v with
-    | Mpu.Write_ok | Mpu.Locked_ignored -> ()
+    | Mpu.Write_ok -> emit t (Trace.Io_write { addr; value = v })
+    | Mpu.Locked_ignored -> ()
     | Mpu.Bad_password ->
       raise (Fault (Mpu_bad_password { addr; pc = pc_of t }))
   end
-  else if Timer.handles addr then Timer.mmio_write t.timer ~now:(cycles t) addr v
-  else if addr = host_call_port then t.host_call t v
-  else if addr = console_port then Buffer.add_char t.console (Char.chr (v land 0xFF))
-  else if addr = halt_port then t.halted <- true
-  else if addr = sw_fault_port then t.sw_fault <- Some v
+  else begin
+    emit t (Trace.Io_write { addr; value = v });
+    if Timer.handles addr then Timer.mmio_write t.timer ~now:(cycles t) addr v
+    else if addr = host_call_port then t.host_call t v
+    else if addr = console_port then
+      Buffer.add_char t.console (Char.chr (v land 0xFF))
+    else if addr = halt_port then t.halted <- true
+    else if addr = sw_fault_port then t.sw_fault <- Some v
+  end
 
 let mpu_check t access addr =
   match Mpu.check t.mpu access addr with
@@ -173,18 +179,25 @@ let set_reset_vector t entry =
 let reset t =
   t.halted <- false;
   t.sw_fault <- None;
+  Trace.reset_stats t.stats;
+  t.extra_cycles <- 0;
+  Buffer.clear t.console;
   Registers.set_pc (regs t) (Memory.read_word t.mem Memory_map.reset_vector);
   Registers.set_sp (regs t) Memory_map.sram_limit
 
 let step t =
   let pc0 = pc_of t in
+  let faulted f =
+    emit t (Trace.Fault_event (Format.asprintf "%a" pp_fault f));
+    Error f
+  in
   try
     let i = Cpu.step t.cpu in
     emit t (Trace.Exec { pc = pc0; instr = i });
     Ok i
   with
-  | Fault f -> Error f
-  | Decode.Illegal word -> Error (Illegal_instruction { pc = pc0; word })
+  | Fault f -> faulted f
+  | Decode.Illegal word -> faulted (Illegal_instruction { pc = pc0; word })
 
 let run ?(fuel = 10_000_000) t =
   let rec loop budget =

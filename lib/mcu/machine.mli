@@ -75,10 +75,14 @@ val load_bytes : t -> addr:int -> bytes -> unit
 val set_reset_vector : t -> int -> unit
 val reset : t -> unit
 (** Load PC from the reset vector, SP from the top of SRAM, clear
-    halt/fault state.  Does not clear memory. *)
+    halt/fault state, the access statistics, host-charged cycles and
+    the console buffer.  Does not clear memory or the CPU cycle
+    counter. *)
 
 val step : t -> (Opcode.t, fault) result
-(** One instruction; faults are caught and returned. *)
+(** One instruction; faults are caught and returned (after emitting a
+    {!Trace.Fault_event} to the event hook, so trace rings end with
+    the fault they led up to). *)
 
 val run : ?fuel:int -> t -> stop_reason
 (** Run until halt, fault, software fault, or [fuel] instructions

@@ -1,0 +1,92 @@
+module M = Amulet_mcu.Machine
+module Trace = Amulet_mcu.Trace
+module Mpu = Amulet_mcu.Mpu
+module Map = Amulet_mcu.Memory_map
+module Registers = Amulet_mcu.Registers
+module Iso = Amulet_cc.Isolation
+module Layout = Amulet_aft.Layout
+module Image = Amulet_link.Image
+
+let sw_fault_name code =
+  if code = Iso.fault_data_lo then "data lower-bound guard"
+  else if code = Iso.fault_data_hi then "data upper-bound guard"
+  else if code = Iso.fault_code_ptr then "code-pointer guard"
+  else if code = Iso.fault_ret_addr then "return-address guard"
+  else if code = Iso.fault_array_bounds then "array-index guard"
+  else if code = Iso.fault_shadow_stack then "shadow-stack mismatch"
+  else Printf.sprintf "unknown reason %d" code
+
+let fault_addr = function
+  | M.Mpu_violation { addr; _ }
+  | M.Mpu_bad_password { addr; _ }
+  | M.Unmapped { addr; _ } -> Some addr
+  | M.Illegal_instruction _ -> None
+
+(* Which firmware region owns an address. *)
+let owner_of fw addr =
+  let layout = fw.Amulet_aft.Aft.fw_layout in
+  let app_owner =
+    List.find_map
+      (fun (a : Layout.app_layout) ->
+        if addr >= a.Layout.code_base
+           && addr < a.Layout.code_base + a.Layout.code_size
+        then Some (Printf.sprintf "app '%s' code" a.Layout.name)
+        else if addr >= a.Layout.data_base && addr < a.Layout.data_limit then
+          Some (Printf.sprintf "app '%s' data/stack" a.Layout.name)
+        else None)
+      layout.Layout.apps
+  in
+  match app_owner with
+  | Some o -> o
+  | None ->
+    if addr >= layout.Layout.os_code_base
+       && addr < layout.Layout.os_code_base + layout.Layout.os_code_size
+    then "OS code"
+    else if addr >= layout.Layout.os_data_base
+            && addr < layout.Layout.os_data_base + layout.Layout.os_data_size
+    then "OS data"
+    else Map.region_name (Map.region_of_addr addr)
+
+let report ?fw ~ring ~stop machine =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "=== fault forensics ===@.";
+  Format.fprintf ppf "stop: %a@." M.pp_stop_reason stop;
+  (match stop with
+  | M.Sw_fault code ->
+    Format.fprintf ppf "check: %s (reason %d)@." (sw_fault_name code) code
+  | M.Faulted f -> (
+    (match fault_addr f with
+    | Some addr -> (
+      Format.fprintf ppf "faulting address: %04X" addr;
+      (match fw with
+      | Some fw -> Format.fprintf ppf " — owned by %s" (owner_of fw addr)
+      | None -> ());
+      Format.fprintf ppf "@.")
+    | None -> ());
+    let pc =
+      match f with
+      | M.Mpu_violation { pc; _ }
+      | M.Mpu_bad_password { pc; _ }
+      | M.Unmapped { pc; _ }
+      | M.Illegal_instruction { pc; _ } -> pc
+    in
+    match fw with
+    | Some fw -> (
+      match Image.nearest_symbol fw.Amulet_aft.Aft.fw_image pc with
+      | Some (sym, base) ->
+        Format.fprintf ppf "faulting pc: %04X = %s+%d@." pc sym (pc - base)
+      | None -> Format.fprintf ppf "faulting pc: %04X@." pc)
+    | None -> Format.fprintf ppf "faulting pc: %04X@." pc)
+  | _ -> ());
+  let events = Trace.events ring in
+  Format.fprintf ppf "last %d trace events (oldest first):@."
+    (List.length events);
+  List.iter (fun e -> Format.fprintf ppf "  %a@." Trace.pp_event e) events;
+  let regs = M.regs machine in
+  Format.fprintf ppf "registers:@.  %a@." Registers.pp regs;
+  Format.fprintf ppf "  pc=%04X sp=%04X@." (Registers.get_pc regs)
+    (Registers.get_sp regs);
+  Format.fprintf ppf "mpu: %a@." Mpu.pp machine.M.mpu;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

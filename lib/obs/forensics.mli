@@ -1,0 +1,18 @@
+(** Fault forensics: a post-mortem dump for a stopped machine.
+
+    Combines the last trace-ring events (disassembled), the register
+    file, the current MPU segment configuration, and — when the
+    firmware is supplied — which app region owns the faulting address
+    and which symbol owns the faulting PC. *)
+
+val sw_fault_name : int -> string
+(** Human name of a compiler-inserted check's fault reason code. *)
+
+val report :
+  ?fw:Amulet_aft.Aft.firmware ->
+  ring:Amulet_mcu.Trace.ring ->
+  stop:Amulet_mcu.Machine.stop_reason ->
+  Amulet_mcu.Machine.t ->
+  string
+(** Build the dump.  Capture it {e before} any MPU reset or machine
+    re-use: it reads live machine state. *)

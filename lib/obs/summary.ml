@@ -1,0 +1,126 @@
+let records_of_json j =
+  let arr =
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr xs) -> xs
+    | _ -> ( match j with Json.Arr xs -> xs | _ -> [ j ])
+  in
+  List.filter_map Obs.record_of_json arr
+
+let of_string text =
+  let trimmed = String.trim text in
+  let jsonl () =
+    (* JSONL: one record per non-empty line *)
+    String.split_on_char '\n' text
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" then None
+           else Obs.record_of_json (Json.parse line))
+  in
+  if trimmed = "" then []
+  else if trimmed.[0] = '{' then
+    (* either one Chrome trace document or a JSONL stream (which also
+       starts with '{' but fails to parse as a single value) *)
+    match Json.parse trimmed with
+    | j -> records_of_json j
+    | exception Json.Parse_error _ -> jsonl ()
+  else if trimmed.[0] = '[' then records_of_json (Json.parse trimmed)
+  else jsonl ()
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation *)
+
+type span_agg = {
+  mutable s_count : int;
+  mutable s_total : int;
+  mutable s_max : int;
+}
+
+let pp_report ppf records =
+  let spans : (string * string, span_agg) Hashtbl.t = Hashtbl.create 16 in
+  let counters : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  (* name -> (max, last) *)
+  let instants : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let faults = ref [] in
+  let t_min = ref max_int and t_max = ref min_int in
+  List.iter
+    (fun r ->
+      let ts = Obs.record_ts r in
+      if ts < !t_min then t_min := ts;
+      if ts > !t_max then t_max := ts;
+      match r with
+      | Obs.Span { name; cat; dur; ts; _ } ->
+        if ts + dur > !t_max then t_max := ts + dur;
+        let key = (cat, name) in
+        let agg =
+          match Hashtbl.find_opt spans key with
+          | Some a -> a
+          | None ->
+            let a = { s_count = 0; s_total = 0; s_max = 0 } in
+            Hashtbl.add spans key a;
+            a
+        in
+        agg.s_count <- agg.s_count + 1;
+        agg.s_total <- agg.s_total + dur;
+        if dur > agg.s_max then agg.s_max <- dur
+      | Obs.Counter { name; value; _ } ->
+        let mx, _ =
+          Option.value ~default:(min_int, 0) (Hashtbl.find_opt counters name)
+        in
+        Hashtbl.replace counters name (max mx value, value)
+      | Obs.Instant { name; cat; args; _ } ->
+        let key = (cat, name) in
+        Hashtbl.replace instants key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt instants key));
+        if name = "fault" then
+          faults :=
+            (ts,
+             Option.value ~default:"(no message)"
+               (Obs.str_arg r "message"))
+            :: !faults;
+        ignore args)
+    records;
+  Format.fprintf ppf "%d records" (List.length records);
+  if records <> [] then
+    Format.fprintf ppf ", cycles %d..%d (%d elapsed)" !t_min !t_max
+      (!t_max - !t_min);
+  Format.fprintf ppf "@.";
+  let sorted_spans =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans []
+    |> List.sort (fun (_, a) (_, b) -> compare b.s_total a.s_total)
+  in
+  if sorted_spans <> [] then begin
+    Format.fprintf ppf "@.spans (by total cycles):@.";
+    Format.fprintf ppf "  %-12s %-24s %8s %12s %10s %10s@." "category" "name"
+      "count" "total" "avg" "max";
+    List.iter
+      (fun ((cat, name), a) ->
+        Format.fprintf ppf "  %-12s %-24s %8d %12d %10.1f %10d@." cat name
+          a.s_count a.s_total
+          (float_of_int a.s_total /. float_of_int (max 1 a.s_count))
+          a.s_max)
+      sorted_spans
+  end;
+  let sorted_counters =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
+    |> List.sort compare
+  in
+  if sorted_counters <> [] then begin
+    Format.fprintf ppf "@.counters:@.";
+    List.iter
+      (fun (name, (mx, last)) ->
+        Format.fprintf ppf "  %-24s max %d, final %d@." name mx last)
+      sorted_counters
+  end;
+  let sorted_instants =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) instants [] |> List.sort compare
+  in
+  if sorted_instants <> [] then begin
+    Format.fprintf ppf "@.instants:@.";
+    List.iter
+      (fun ((cat, name), count) ->
+        Format.fprintf ppf "  %-12s %-24s %8d@." cat name count)
+      sorted_instants
+  end;
+  List.iter
+    (fun (ts, msg) -> Format.fprintf ppf "@.FAULT at cycle %d: %s@." ts msg)
+    (List.sort compare !faults)

@@ -1,0 +1,13 @@
+(** Trace-file reader and aggregator for [amulet_prof].
+
+    Accepts both trace formats the sinks write: Chrome
+    [{"traceEvents":[...]}] (or a bare JSON array) and JSONL (one
+    record per line). *)
+
+val of_string : string -> Obs.record list
+(** Parse a trace; unknown records are skipped.
+    @raise Json.Parse_error on malformed JSON input. *)
+
+val pp_report : Format.formatter -> Obs.record list -> unit
+(** Aggregate: span statistics per name, counter maxima, instant
+    counts, and every fault instant with its message. *)

@@ -3,6 +3,9 @@ module R = Amulet_mcu.Registers
 module Map = Amulet_mcu.Memory_map
 module Aft = Amulet_aft.Aft
 module Iso = Amulet_cc.Isolation
+module Obs = Amulet_obs.Obs
+module Forensics = Amulet_obs.Forensics
+module Profile = Amulet_obs.Profile
 
 type fault_policy = Disable | Restart of int
 
@@ -19,11 +22,11 @@ type dispatch_record = {
 }
 
 type handler_stats = {
-  mutable hs_count : int;
-  mutable hs_cycles : int;
-  mutable hs_reads : int;
-  mutable hs_writes : int;
-  mutable hs_api_calls : int;
+  hs_count : int;
+  hs_cycles : int;
+  hs_reads : int;
+  hs_writes : int;
+  hs_api_calls : int;
 }
 
 type app_state = {
@@ -32,13 +35,13 @@ type app_state = {
   mutable fault_count : int;
   mutable restarts : int;
   mutable last_fault : string option;
+  mutable last_forensics : string option;
   mutable subscriptions : (Event.sensor * int) list;
   mutable timers : (int * int) list;
-  stats : (string, handler_stats) Hashtbl.t;
+  metrics : Obs.Metrics.t;
+      (* keys: ["handler"; h] and ["state"; state; h] (ARP view) *)
   state_addr : int option;
       (* address of the app's "state" global, when it declares one *)
-  state_stats : (int * string, handler_stats) Hashtbl.t;
-      (* per (machine state, handler): the ARP-view accounting *)
 }
 
 type t = {
@@ -48,7 +51,9 @@ type t = {
   queue : Event_queue.t;
   apps : app_state array;
   policy : fault_policy;
+  obs : Obs.t option;
   mutable now : int;
+  mutable vbase : int;
   mutable dispatches : int;
   mutable current_app : int;
 }
@@ -57,10 +62,27 @@ let handler_fuel = 20_000_000
 
 let now_ms t = t.now / Event.cycles_per_ms
 
+(* Virtual-time position of the machine's cycle counter: trace records
+   all share the virtual timeline (idle gaps between dispatches show
+   up as gaps in Perfetto, not as overlapping spans). *)
+let vnow t = t.vbase + M.cycles t.machine
+
+let with_profile t f =
+  match t.obs with
+  | Some obs -> ( match Obs.profile obs with Some p -> f p | None -> ())
+  | None -> ()
+
+let queue_gauge t =
+  match t.obs with
+  | Some obs ->
+    Obs.counter obs ~name:"queue_depth" ~ts:t.now (Event_queue.size t.queue)
+  | None -> ()
+
 let post t ~delay_ms ~app kind ~arg =
   Event_queue.push t.queue
     ~at:(t.now + Event.ms_to_cycles delay_ms)
-    ~app kind ~arg
+    ~app kind ~arg;
+  queue_gauge t
 
 (* Validation bounds the OS applies to app-supplied pointers: in the
    separate-stack modes an app may only hand out addresses inside its
@@ -99,8 +121,11 @@ let apply_effects t app effects =
             (Printf.sprintf "pointer %04X+%d rejected by %s" addr len service))
     effects
 
-let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
+let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed ?obs fw =
   let machine = M.create () in
+  (* attach before boot so the profiler sees every executed cycle and
+     its totals equal [Machine.cycles] exactly *)
+  (match obs with Some o -> Obs.attach o machine | None -> ());
   Amulet_link.Image.load fw.Aft.fw_image machine;
   M.reset machine;
   (match M.run ~fuel:100 machine with
@@ -122,14 +147,14 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
              fault_count = 0;
              restarts = 0;
              last_fault = None;
+             last_forensics = None;
              subscriptions = [];
              timers = [];
-             stats = Hashtbl.create 8;
+             metrics = Obs.Metrics.create ();
              state_addr =
                (if Amulet_link.Image.has_symbol fw.Aft.fw_image state_sym then
                   Some (Amulet_link.Image.symbol fw.Aft.fw_image state_sym)
                 else None);
-             state_stats = Hashtbl.create 8;
            })
          fw.Aft.fw_apps)
   in
@@ -137,8 +162,9 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
     {
       fw; machine; api;
       queue = Event_queue.create ();
-      apps; policy;
+      apps; policy; obs;
       now = M.cycles machine;
+      vbase = 0;
       dispatches = 0;
       current_app = -1;
     }
@@ -147,6 +173,14 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
     (fun m svc ->
       if t.current_app >= 0 then begin
         let app = t.apps.(t.current_app) in
+        (match t.obs with
+        | Some obs ->
+          let name =
+            Option.value ~default:(Printf.sprintf "svc%d" svc)
+              (Api.service_name svc)
+          in
+          Obs.instant obs ~cat:"api" ~tid:t.current_app ~name ~ts:(vnow t) ()
+        | None -> ());
         let effects =
           Api.dispatch t.api m ~valid:(valid_ranges t app) ~now_ms:(now_ms t)
             ~svc
@@ -158,17 +192,6 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed fw =
     (fun i _ -> post t ~delay_ms:0 ~app:i Event.Init ~arg:0)
     apps;
   t
-
-let stats_for app handler =
-  match Hashtbl.find_opt app.stats handler with
-  | Some s -> s
-  | None ->
-    let s =
-      { hs_count = 0; hs_cycles = 0; hs_reads = 0; hs_writes = 0;
-        hs_api_calls = 0 }
-    in
-    Hashtbl.add app.stats handler s;
-    s
 
 let handle_fault t (app : app_state) msg =
   app.fault_count <- app.fault_count + 1;
@@ -224,7 +247,10 @@ let dispatch_event t (e : Event.t) =
       R.set regs 15 haddr;
       R.set_pc regs app.build.Aft.ab_tramp;
       t.current_app <- e.Event.app;
+      with_profile t (fun p ->
+          Profile.set_context p ~app:app.build.Aft.ab_name ~handler);
       let stop = M.run ~fuel:handler_fuel m in
+      with_profile t Profile.clear_context;
       t.current_app <- -1;
       let outcome =
         match stop with
@@ -235,7 +261,22 @@ let dispatch_event t (e : Event.t) =
         | M.Out_of_fuel -> App_fault "runaway handler"
       in
       (match outcome with
-      | App_fault msg -> handle_fault t app msg
+      | App_fault msg ->
+        (* forensics first: [handle_fault] resets the MPU, destroying
+           the very configuration the dump must show *)
+        (match t.obs with
+        | Some obs ->
+          let forensics =
+            Forensics.report ~fw:t.fw ~ring:(Obs.ring obs) ~stop m
+          in
+          app.last_forensics <- Some forensics;
+          Obs.instant obs ~cat:"kernel" ~tid:e.Event.app ~name:"fault"
+            ~ts:(vnow t)
+            ~args:
+              [ ("message", Obs.Vstr msg); ("forensics", Obs.Vstr forensics) ]
+            ()
+        | None -> ());
+        handle_fault t app msg
       | Ok | No_handler -> ());
       let record =
         {
@@ -248,31 +289,41 @@ let dispatch_event t (e : Event.t) =
           dr_outcome = outcome;
         }
       in
-      let bump s =
-        s.hs_count <- s.hs_count + 1;
-        s.hs_cycles <- s.hs_cycles + record.dr_cycles;
-        s.hs_reads <- s.hs_reads + record.dr_reads;
-        s.hs_writes <- s.hs_writes + record.dr_writes;
-        s.hs_api_calls <- s.hs_api_calls + record.dr_api_calls
+      let bump key =
+        Obs.Metrics.bump app.metrics key ~count:1 ~cycles:record.dr_cycles
+          ~reads:record.dr_reads ~writes:record.dr_writes
+          ~api_calls:record.dr_api_calls
       in
-      bump (stats_for app handler);
+      bump [ "handler"; handler ];
       (* ARP-view accounting: attribute the dispatch to the state the
          app's machine was in when the event arrived *)
       (match state_before with
-      | Some st ->
-        let key = (st, handler) in
-        let s =
-          match Hashtbl.find_opt app.state_stats key with
-          | Some s -> s
-          | None ->
-            let s =
-              { hs_count = 0; hs_cycles = 0; hs_reads = 0; hs_writes = 0;
-                hs_api_calls = 0 }
-            in
-            Hashtbl.add app.state_stats key s;
-            s
+      | Some st -> bump [ "state"; string_of_int st; handler ]
+      | None -> ());
+      (match t.obs with
+      | Some obs ->
+        let outcome_str =
+          match outcome with
+          | Ok -> "ok"
+          | No_handler -> "no_handler"
+          | App_fault msg -> "fault: " ^ msg
         in
-        bump s
+        let args =
+          [
+            ("app", Obs.Vstr app.build.Aft.ab_name);
+            ("kind", Obs.Vstr (Event.kind_name e.Event.kind));
+            ("outcome", Obs.Vstr outcome_str);
+            ("reads", Obs.Vint record.dr_reads);
+            ("writes", Obs.Vint record.dr_writes);
+            ("api_calls", Obs.Vint record.dr_api_calls);
+          ]
+          @
+          match state_before with
+          | Some st -> [ ("state", Obs.Vint st) ]
+          | None -> []
+        in
+        Obs.span obs ~cat:"dispatch" ~tid:e.Event.app ~args ~name:handler
+          ~ts:t.now ~dur:record.dr_cycles ()
       | None -> ());
       t.dispatches <- t.dispatches + 1;
       record
@@ -299,7 +350,15 @@ let dispatch_next t =
   match Event_queue.pop t.queue with
   | None -> None
   | Some e ->
+    (* how late the event runs relative to its scheduled time *)
+    (match t.obs with
+    | Some obs ->
+      Obs.counter obs ~name:"dispatch_latency_cycles" ~ts:t.now
+        (max 0 (t.now - e.Event.at))
+    | None -> ());
+    queue_gauge t;
     t.now <- max t.now e.Event.at;
+    t.vbase <- t.now - M.cycles t.machine;
     let before = M.cycles t.machine in
     let record = dispatch_event t e in
     let elapsed = M.cycles t.machine - before in
@@ -329,10 +388,34 @@ let app_by_name t name =
   | Some a -> a
   | None -> raise Not_found
 
-let handler_profile app handler = Hashtbl.find_opt app.stats handler
+let snapshot (c : Obs.Metrics.cell) =
+  {
+    hs_count = c.count;
+    hs_cycles = c.cycles;
+    hs_reads = c.reads;
+    hs_writes = c.writes;
+    hs_api_calls = c.api_calls;
+  }
+
+let handler_profile app handler =
+  Option.map snapshot (Obs.Metrics.find app.metrics [ "handler"; handler ])
+
+let handler_profiles app =
+  Obs.Metrics.fold
+    (fun key cell acc ->
+      match key with
+      | [ "handler"; h ] -> (h, snapshot cell) :: acc
+      | _ -> acc)
+    app.metrics []
+  |> List.sort compare
 
 let state_profile app =
-  Hashtbl.fold (fun key s acc -> (key, s) :: acc) app.state_stats []
+  Obs.Metrics.fold
+    (fun key cell acc ->
+      match key with
+      | [ "state"; st; h ] -> ((int_of_string st, h), snapshot cell) :: acc
+      | _ -> acc)
+    app.metrics []
   |> List.sort compare
 let display_line t n = t.api.Api.display.(n land 3)
 let log_contents t = Buffer.contents t.api.Api.log

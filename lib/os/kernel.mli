@@ -32,13 +32,14 @@ type dispatch_record = {
   dr_outcome : outcome;
 }
 
-(** Accumulated per-(app, handler) profile — the input ARP needs. *)
+(** Accumulated per-(app, handler) profile snapshot — the input ARP
+    needs.  Backed by {!Amulet_obs.Obs.Metrics} cells. *)
 type handler_stats = {
-  mutable hs_count : int;
-  mutable hs_cycles : int;
-  mutable hs_reads : int;
-  mutable hs_writes : int;
-  mutable hs_api_calls : int;
+  hs_count : int;
+  hs_cycles : int;
+  hs_reads : int;
+  hs_writes : int;
+  hs_api_calls : int;
 }
 
 type app_state = {
@@ -47,13 +48,16 @@ type app_state = {
   mutable fault_count : int;
   mutable restarts : int;
   mutable last_fault : string option;
+  mutable last_forensics : string option;
+      (** full {!Amulet_obs.Forensics} dump of the app's most recent
+          fault (only when an observability context is attached) *)
   mutable subscriptions : (Event.sensor * int) list;  (** sensor, rate Hz *)
   mutable timers : (int * int) list;  (** id, period ms *)
-  stats : (string, handler_stats) Hashtbl.t;  (** by handler name *)
+  metrics : Amulet_obs.Obs.Metrics.t;
+      (** keyed [\["handler"; h\]] and [\["state"; st; h\]] *)
   state_addr : int option;
       (** address of the app's [state] global, when it declares one —
           enables the ARP-view per-state accounting *)
-  state_stats : (int * string, handler_stats) Hashtbl.t;
 }
 
 type t = {
@@ -63,7 +67,11 @@ type t = {
   queue : Event_queue.t;
   apps : app_state array;
   policy : fault_policy;
+  obs : Amulet_obs.Obs.t option;
   mutable now : int;  (** virtual time, cycles *)
+  mutable vbase : int;
+      (** virtual-time offset of the machine cycle counter, so trace
+          records emitted mid-dispatch land on the virtual timeline *)
   mutable dispatches : int;
   mutable current_app : int;
 }
@@ -72,10 +80,15 @@ val create :
   ?policy:fault_policy ->
   ?scenario:Sensors.scenario ->
   ?seed:int ->
+  ?obs:Amulet_obs.Obs.t ->
   Amulet_aft.Aft.firmware ->
   t
 (** Loads the image, resets the machine, runs the boot stub, and
-    queues [handle_init] for every app at t=0.  (Does not dispatch.) *)
+    queues [handle_init] for every app at t=0.  (Does not dispatch.)
+    With [obs], the context is attached to the machine {e before}
+    boot (so profiler totals equal [Machine.cycles] exactly) and the
+    kernel emits dispatch spans, API instants, queue-depth /
+    dispatch-latency counters and fault instants into it. *)
 
 val now_ms : t -> int
 
@@ -93,6 +106,9 @@ val run_for_ms : t -> int -> dispatch_record list
 val app_by_name : t -> string -> app_state
 
 val handler_profile : app_state -> string -> handler_stats option
+
+val handler_profiles : app_state -> (string * handler_stats) list
+(** All handlers with at least one dispatch, sorted by name. *)
 
 val state_profile : app_state -> ((int * string) * handler_stats) list
 (** ARP-view accounting: dispatch statistics keyed by (value of the

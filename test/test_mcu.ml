@@ -669,6 +669,88 @@ let encode_length_property =
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
+(* ------------------------------------------------------------------ *)
+(* Trace ring and machine observability hooks *)
+
+let test_ring_wraparound () =
+  let ring = Trace.create_ring ~capacity:4 in
+  for i = 0 to 5 do
+    Trace.record ring (Trace.Fault_event (Printf.sprintf "e%d" i))
+  done;
+  let names =
+    List.map
+      (function Trace.Fault_event s -> s | _ -> "?")
+      (Trace.events ring)
+  in
+  Alcotest.(check (list string))
+    "keeps last 4, oldest first" [ "e2"; "e3"; "e4"; "e5" ] names;
+  let tiny = Trace.create_ring ~capacity:1 in
+  Trace.record tiny (Trace.Fault_event "a");
+  Trace.record tiny (Trace.Fault_event "b");
+  Alcotest.(check int) "capacity 1" 1 (List.length (Trace.events tiny))
+
+let test_reset_clears_state () =
+  let open Opcode in
+  let m, stop =
+    run_prog
+      [
+        Fmt1 (MOV, Word.W16, S_immediate 0x1234, D_absolute 0x1C00);
+        Fmt1 (MOV, Word.W8, S_immediate (Char.code 'x'),
+              D_absolute Machine.console_port);
+      ]
+  in
+  let m = expect_halt (m, stop) in
+  Alcotest.(check bool)
+    "stats accumulated" true
+    (m.Machine.stats.Trace.data_writes > 0);
+  Alcotest.(check string) "console captured" "x" (Machine.console_contents m);
+  let cycles_before = m.Machine.cpu.Cpu.cycles in
+  Machine.reset m;
+  check_int "stats cleared" 0 m.Machine.stats.Trace.data_writes;
+  check_int "fetch stats cleared" 0 m.Machine.stats.Trace.fetch_words;
+  check_int "extra cycles cleared" 0 m.Machine.extra_cycles;
+  Alcotest.(check string) "console cleared" "" (Machine.console_contents m);
+  check_int "cpu cycle counter survives" cycles_before m.Machine.cpu.Cpu.cycles;
+  check_int "memory survives" 0x1234 (Machine.mem_checked_read m Word.W16 0x1C00)
+
+let test_bad_password_write_emits_no_io_event () =
+  let open Opcode in
+  (* a write to an MPU register with the wrong password must fault
+     without ever surfacing as an [Io_write] trace event *)
+  let m =
+    build_machine
+      [ Fmt1 (MOV, Word.W16, S_immediate 0x0001, D_absolute Mpu.ctl0_addr) ]
+  in
+  let io_writes = ref [] in
+  m.Machine.on_event <-
+    Some
+      (function
+      | Trace.Io_write { addr; _ } -> io_writes := addr :: !io_writes
+      | _ -> ());
+  (match Machine.run m with
+  | Machine.Faulted (Machine.Mpu_bad_password _) -> ()
+  | other ->
+    Alcotest.failf "expected bad-password fault, got %a"
+      Machine.pp_stop_reason other);
+  Alcotest.(check (list int)) "no Io_write for rejected MMIO" [] !io_writes;
+  (* and a correctly-passworded write does surface *)
+  let m2 =
+    build_machine
+      [ Fmt1 (MOV, Word.W16, S_immediate 0xA501, D_absolute Mpu.ctl0_addr);
+        halt_insn ]
+  in
+  m2.Machine.on_event <-
+    Some
+      (function
+      | Trace.Io_write { addr; _ } -> io_writes := addr :: !io_writes
+      | _ -> ());
+  (match Machine.run m2 with
+  | Machine.Halted -> ()
+  | other -> Alcotest.failf "expected halt, got %a" Machine.pp_stop_reason other);
+  Alcotest.(check bool)
+    "accepted MMIO write traced" true
+    (List.mem Mpu.ctl0_addr !io_writes)
+
 let () =
   Alcotest.run "mcu"
     [
@@ -734,5 +816,13 @@ let () =
           Alcotest.test_case "exec-only" `Quick test_mpu_exec_only_blocks_read;
           Alcotest.test_case "sw fault port" `Quick test_sw_fault_port;
           Alcotest.test_case "stats" `Quick test_stats_counting;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "reset clears state" `Quick
+            test_reset_clears_state;
+          Alcotest.test_case "bad password no io event" `Quick
+            test_bad_password_write_emits_no_io_event;
         ] );
     ]
