@@ -1,0 +1,149 @@
+(* amulet_lint: build a firmware from WearC sources (or suite app
+   names) and run the whole-image static certifier — SFI verifier, CFI
+   reconstruction, binary stack bound, gate-argument provenance — over
+   every app section.  Human or JSON diagnostics; exit status 1 when
+   any error-severity diagnostic is emitted. *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Apps = Amulet_apps.Suite
+module An = Amulet_analysis
+module Lint = Amulet_analysis.Lint
+module J = Amulet_obs.Json
+
+let mode_conv =
+  let parse s =
+    match Iso.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg "expected one of: none, amuletc, software, mpu")
+  in
+  Cmdliner.Arg.conv (parse, fun ppf m -> Format.fprintf ppf "%s" (Iso.name m))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let spec_of mode arg =
+  match List.find_opt (fun (a : Apps.app) -> a.Apps.name = arg) Apps.all with
+  | Some app -> Apps.spec_for mode app
+  | None ->
+    {
+      Aft.name = Filename.remove_extension (Filename.basename arg);
+      source = read_file arg;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let json_of_diag (d : Lint.diag) =
+  J.Obj
+    ([ ("app", J.Str d.Lint.d_app); ("pass", J.Str d.Lint.d_pass);
+       ("severity", J.Str (Lint.severity_name d.Lint.d_severity)) ]
+    @ (match d.Lint.d_addr with
+      | Some a -> [ ("addr", J.Int a) ]
+      | None -> [])
+    @ [ ("message", J.Str d.Lint.d_message) ])
+
+let json_of_report (r : Lint.report) =
+  J.Obj
+    [
+      ("mode", J.Str (Iso.name r.Lint.l_mode));
+      ("apps", J.Arr (List.map (fun (a : Lint.app_report) ->
+           J.Obj
+             [
+               ("name", J.Str a.Lint.r_app);
+               ("certified_gates",
+                J.Arr (List.map (fun s -> J.Str s) a.Lint.r_certified));
+             ])
+           r.Lint.l_apps));
+      ("errors", J.Int r.Lint.l_errors);
+      ("warnings", J.Int r.Lint.l_warnings);
+      ("diagnostics", J.Arr (List.map json_of_diag r.Lint.l_diags));
+    ]
+
+let print_human (r : Lint.report) =
+  Format.printf "isolation mode: %s@." (Iso.name r.Lint.l_mode);
+  List.iter (fun d -> Format.printf "%a@." Lint.pp_diag d) r.Lint.l_diags;
+  Format.printf "%d error(s), %d warning(s), %d app(s)@." r.Lint.l_errors
+    r.Lint.l_warnings
+    (List.length r.Lint.l_apps)
+
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd mode no_elide shadow format notes_only apps =
+  try
+    let specs = List.map (spec_of mode) apps in
+    let fw = Aft.build ~mode ~shadow ~elide:(not no_elide) specs in
+    let image = fw.Aft.fw_image in
+    let report = Lint.run ~image ~mode ~apps:(Lint.apps_of image) in
+    (match format with
+    | `Human ->
+      print_human report;
+      if notes_only then
+        List.iter
+          (fun (k, v) -> Format.printf "%s = %s@." k v)
+          image.Amulet_link.Image.notes
+    | `Json -> print_string (J.to_string (json_of_report report) ^ "\n"));
+    if report.Lint.l_errors = 0 then 0 else 1
+  with
+  | Amulet_cc.Srcloc.Error (loc, msg) ->
+    Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
+    2
+  | Aft.Build_error msg ->
+    Format.eprintf "build error: %s@." msg;
+    2
+  | Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    2
+
+open Cmdliner
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Iso.Mpu_assisted
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Isolation mode: $(b,none), $(b,amuletc) (feature-limited), \
+           $(b,software), or $(b,mpu).")
+
+let no_elide_arg =
+  Arg.(
+    value & flag
+    & info [ "no-elide" ]
+        ~doc:"Compile with every guard emitted (skip the range analysis).")
+
+let shadow_arg =
+  Arg.(
+    value & flag
+    & info [ "shadow" ] ~doc:"Arm the InfoMem shadow return-address stack.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,human) or $(b,json).")
+
+let notes_arg =
+  Arg.(
+    value & flag
+    & info [ "notes" ]
+        ~doc:"Also print the certification notes stamped into the image.")
+
+let apps_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"APP" ~doc:"Suite app name or WearC source path.")
+
+let cmd =
+  let doc = "statically certify a firmware image (CFI, stack bounds, gates)" in
+  Cmd.v
+    (Cmd.info "amulet_lint" ~doc)
+    Term.(
+      const lint_cmd $ mode_arg $ no_elide_arg $ shadow_arg $ format_arg
+      $ notes_arg $ apps_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -30,10 +30,36 @@ let spec_of mode arg =
       source = read_file arg;
     }
 
-let dump_cmd mode os_too apps =
+(* --cfg: print each app's reconstructed control-flow graph (basic
+   blocks with cycle counts and successor edges) instead of the linear
+   disassembly, reusing the CFI pass so what is shown is exactly what
+   the certifier proved over. *)
+let dump_cfg fw mode =
+  List.fold_left
+    (fun rc ab ->
+      let prefix = ab.Aft.ab_name in
+      Format.printf "@.; ==== %s control-flow graph ====@." prefix;
+      match
+        Amulet_analysis.Cfi.reconstruct ~image:fw.Aft.fw_image ~mode ~prefix
+      with
+      | Ok cfg ->
+        Format.printf "%a" Amulet_analysis.Cfi.pp_cfg cfg;
+        rc
+      | Error vs ->
+        List.iter
+          (fun v ->
+            Format.printf "; CFI violation: %a@."
+              Amulet_analysis.Cfi.pp_violation v)
+          vs;
+        1)
+    0 fw.Aft.fw_apps
+
+let dump_cmd mode os_too cfg apps =
   try
     let specs = List.map (spec_of mode) apps in
     let fw = Aft.build ~mode specs in
+    if cfg then dump_cfg fw mode
+    else begin
     let machine = Amulet_mcu.Machine.create () in
     Amulet_link.Image.load fw.Aft.fw_image machine;
     let fetch a = Amulet_mcu.Machine.mem_checked_read machine Amulet_mcu.Word.W16 a in
@@ -76,8 +102,9 @@ let dump_cmd mode os_too apps =
       (fun (a : Amulet_aft.Layout.app_layout) ->
         dump (a.Amulet_aft.Layout.name ^ " code") a.Amulet_aft.Layout.code_base
           (a.Amulet_aft.Layout.code_base + a.Amulet_aft.Layout.code_size))
-      fw.Aft.fw_layout.Amulet_aft.Layout.apps;
-    0
+        fw.Aft.fw_layout.Amulet_aft.Layout.apps;
+      0
+    end
   with
   | Amulet_cc.Srcloc.Error (loc, msg) ->
     Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
@@ -100,6 +127,14 @@ let mode_arg =
 let os_arg =
   Arg.(value & flag & info [ "os" ] ~doc:"Also disassemble the OS code section.")
 
+let cfg_arg =
+  Arg.(
+    value & flag
+    & info [ "cfg" ]
+        ~doc:
+          "Print each app's reconstructed control-flow graph (basic blocks \
+           with cycle counts and successors) instead of the disassembly.")
+
 let apps_arg =
   Arg.(
     non_empty & pos_all string []
@@ -109,6 +144,6 @@ let cmd =
   let doc = "disassemble a built firmware image" in
   Cmd.v
     (Cmd.info "amulet_objdump" ~doc)
-    Term.(const dump_cmd $ mode_arg $ os_arg $ apps_arg)
+    Term.(const dump_cmd $ mode_arg $ os_arg $ cfg_arg $ apps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -91,19 +91,29 @@ let verify_cmd mode no_elide shadow corrupt apps =
              ab.Aft.ab_name
          | None -> Format.printf "no guard found to corrupt@.")
        | [] -> ());
-    let bad = ref 0 in
-    List.iter
-      (fun ab ->
-        let name = ab.Aft.ab_name in
-        match V.verify_app ~image:fw.Aft.fw_image ~mode ~prefix:name with
-        | Ok st -> Format.printf "%-12s OK   %a@." name V.pp_stats st
-        | Error vs ->
-          incr bad;
-          Format.printf "%-12s REJECTED (%d violations)@." name
-            (List.length vs);
-          List.iter (fun v -> Format.printf "  %a@." V.pp_violation v) vs)
-      fw.Aft.fw_apps;
-    if !bad = 0 then 0 else 1
+    if fw.Aft.fw_apps = [] then begin
+      (* a firmware with nothing to check must not pass vacuously *)
+      Format.printf "0 apps: no app code sections to verify@.";
+      1
+    end
+    else begin
+      let bad = ref 0 in
+      List.iter
+        (fun ab ->
+          let name = ab.Aft.ab_name in
+          match V.verify_app ~image:fw.Aft.fw_image ~mode ~prefix:name with
+          | Ok st -> Format.printf "%-12s OK   %a@." name V.pp_stats st
+          | Error vs ->
+            incr bad;
+            Format.printf "%-12s REJECTED (%d violations)@." name
+              (List.length vs);
+            List.iter (fun v -> Format.printf "  %a@." V.pp_violation v) vs)
+        fw.Aft.fw_apps;
+      Format.printf "%d of %d app(s) verified@."
+        (List.length fw.Aft.fw_apps - !bad)
+        (List.length fw.Aft.fw_apps);
+      if !bad = 0 then 0 else 1
+    end
   with
   | Amulet_cc.Srcloc.Error (loc, msg) ->
     Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
@@ -147,7 +157,7 @@ let corrupt_arg =
 
 let apps_arg =
   Arg.(
-    non_empty & pos_all string []
+    value & pos_all string []
     & info [] ~docv:"APP" ~doc:"Suite app name or WearC source path.")
 
 let cmd =

@@ -34,7 +34,7 @@ let valid_name name =
    trampoline's exit-stub push, the gate return address, plus margin. *)
 let stack_margin = 64
 
-let build ~mode ?(shadow = false) ?(elide = true) specs =
+let build ~mode ?(shadow = false) ?(elide = true) ?(certify = true) specs =
   let analyze = if elide then Some Amulet_analysis.Range.analyze else None in
   (* phase 0: validate *)
   let names = List.map (fun s -> s.name) specs in
@@ -120,13 +120,34 @@ let build ~mode ?(shadow = false) ?(elide = true) specs =
                  items = app_code_items cu spec };
                { Amulet_link.Linker.name = Iso.data_section ~prefix:spec.name;
                  base = lay.Layout.data_base;
-                 items = A.Space lay.Layout.stack_bytes :: cu.Driver.data };
+                 items =
+                   A.Space lay.Layout.stack_bytes
+                   :: A.label (Iso.stack_top_sym ~prefix:spec.name)
+                   :: cu.Driver.data };
              ])
            compiled layout.Layout.apps)
   in
   let image =
     try Amulet_link.Linker.link ~entry:"__os_start" sections
     with Amulet_link.Linker.Error m -> errf "link: %s" m
+  in
+  (* post-link certification: stamp the services whose gate-pointer
+     validation is statically redundant into the image, where the
+     kernel's gate table picks them up *)
+  let image =
+    if not certify then image
+    else
+      Amulet_link.Image.with_notes image
+        (List.filter_map
+           (fun spec ->
+             match
+               Amulet_analysis.Lint.certified_gates ~image ~mode
+                 ~prefix:spec.name
+             with
+             | [] -> None
+             | svcs ->
+               Some ("cert.gates." ^ spec.name, String.concat "," svcs))
+           specs)
   in
   let apps =
     List.map2

@@ -31,10 +31,16 @@ type firmware = {
 
 exception Build_error of string
 
+val stack_margin : int
+(** Extra stack bytes reserved per app on top of the compiler's
+    source-level worst-case estimate (gate register saves, trampoline
+    pushes). *)
+
 val build :
   mode:Amulet_cc.Isolation.mode ->
   ?shadow:bool ->
   ?elide:bool ->
+  ?certify:bool ->
   app_spec list ->
   firmware
 (** [shadow] additionally arms the shadow return-address stack in
@@ -42,6 +48,10 @@ val build :
     [elide] (default true) runs the range analysis so codegen can drop
     guards at proven-safe dereference sites; pass [false] to measure
     the unoptimized check cost.
+    [certify] (default true) runs the static certifier post-link and
+    stamps [cert.gates.<app>] notes into the image so the kernel can
+    elide the dynamic gate-pointer validation for the certified
+    services; pass [false] to measure the uncertified gate cost.
     @raise Build_error on name clashes or layout overflow;
     @raise Amulet_cc.Srcloc.Error on source-level errors. *)
 

@@ -1,0 +1,327 @@
+(* Gate-argument provenance.
+
+   The kernel's API dispatcher re-validates every pointer argument an
+   app passes through an OS gate ([Api.dispatch]'s [with_range]): the
+   whole range [addr, addr+len) must lie inside the app's writable
+   region.  This pass proves, per call site, that the pointer can only
+   ever point into the app's own D_i region — for any execution
+   reaching the site — so the kernel may elide that dynamic check for
+   the certified services of a certified image.
+
+   The analysis is a per-function abstract interpretation over the
+   CFI-reconstructed CFG with a three-point domain per register:
+
+   - [Iv (l, h)]  — an unsigned 16-bit interval (link-time constants:
+     global and string addresses, literal lengths);
+   - [Fp (dl, dh)] — frame-relative: FP + a signed displacement
+     interval (addresses of locals);
+   - [Top]        — anything (loads, helper results, arguments).
+
+   An [Iv] pointer certifies directly against the [data__start,
+   data__end) symbols.  An [Fp] pointer needs a bound on FP itself:
+   {!Stackcert}'s per-function entry-depth maximum pins FP between
+   [stack_top - entry_max - 2] and [stack_top - trampoline - 2], which
+   only exists in separate-stack modes — with a shared stack the
+   frame's location is not statically boundable, and such sites stay
+   uncertified (the dynamic check remains).
+
+   The extent validated by the kernel is over-approximated from the
+   service and the abstract length argument, mirroring the kernel's
+   own clamps (e.g. [api_read_accel] validates at most 128 bytes). *)
+
+module I = Amulet_link.Image
+module O = Amulet_mcu.Opcode
+module W = Amulet_mcu.Word
+module Iso = Amulet_cc.Isolation
+module Ct = Amulet_cc.Ctype
+
+type value = Top | Iv of int * int | Fp of int * int
+
+type site = {
+  gs_fn : string;  (** mangled name of the enclosing function *)
+  gs_addr : int;  (** address of the CALL #__gate_* instruction *)
+  gs_service : string;
+  gs_certified : bool;
+  gs_reason : string;
+}
+
+type t = {
+  gt_sites : site list;
+  gt_certified : string list;
+      (** services every one of whose pointer-carrying call sites is
+          certified (and that have at least one such site) *)
+}
+
+let signed16 k = if k land 0x8000 <> 0 then (k land 0xFFFF) - 0x10000 else k
+
+(* signed view of an unsigned interval; None when it spans the sign
+   boundary *)
+let signed_iv l h =
+  let sl = signed16 l and sh = signed16 h in
+  if sl <= sh then Some (sl, sh) else None
+
+let join_value a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Iv (l1, h1), Iv (l2, h2) -> Iv (min l1 l2, max h1 h2)
+  | Fp (l1, h1), Fp (l2, h2) -> Fp (min l1 l2, max h1 h2)
+  | _ -> Top
+
+let add_value a b =
+  match (a, b) with
+  | Iv (l1, h1), Iv (l2, h2) ->
+    if h1 + h2 <= 0xFFFF then Iv (l1 + l2, h1 + h2) else Top
+  | Fp (dl, dh), Iv (l, h) | Iv (l, h), Fp (dl, dh) -> (
+    match signed_iv l h with
+    | Some (sl, sh) -> Fp (dl + sl, dh + sh)
+    | None -> Top)
+  | _ -> Top
+
+let sub_value a b =
+  match (a, b) with
+  | Iv (l1, h1), Iv (l2, h2) -> if l1 - h2 >= 0 then Iv (l1 - h2, h1 - l2) else Top
+  | Fp (dl, dh), Iv (l, h) -> (
+    match signed_iv l h with
+    | Some (sl, sh) -> Fp (dl - sh, dh - sl)
+    | None -> Top)
+  | _ -> Top
+
+let src_value regs width src =
+  match src with
+  | O.S_immediate k ->
+    let m = match width with W.W8 -> k land 0xFF | W.W16 -> k land 0xFFFF in
+    Iv (m, m)
+  | O.S_reg s -> regs.(s)
+  | _ -> Top (* memory loads *)
+
+(* A byte-width write clears the register's high byte. *)
+let byte_clamp width v =
+  match width with
+  | W.W16 -> v
+  | W.W8 -> (
+    match v with Iv (l, h) when 0 <= l && h <= 0xFF -> v | _ -> Iv (0, 0xFF))
+
+let step regs (i : Cfi.insn) =
+  match i.Cfi.i_op with
+  | O.Fmt1 (op, w, src, O.D_reg d) when O.writes_back op ->
+    let sv = src_value regs w src in
+    let nv =
+      match op with
+      | O.MOV -> (
+        match src with
+        (* the prologue's MOV SP, R4 establishes the frame pointer —
+           the reference point of every Fp value *)
+        | O.S_reg 1 -> if d = 4 then Fp (0, 0) else Top
+        | _ -> sv)
+      | O.ADD -> add_value regs.(d) sv
+      | O.SUB -> sub_value regs.(d) sv
+      | O.AND -> (
+        match src with O.S_immediate k -> Iv (0, k land 0xFFFF) | _ -> Top)
+      | _ -> Top
+    in
+    regs.(d) <- byte_clamp w nv
+  | O.Fmt1 _ -> () (* memory destinations, CMP, BIT *)
+  | O.Fmt2 (O.CALL, _, _) ->
+    (* caller-saved registers die across any call *)
+    for r = 12 to 15 do
+      regs.(r) <- Top
+    done
+  | O.Fmt2 ((O.RRC | O.SWPB | O.RRA | O.SXT), _, O.S_reg r) -> regs.(r) <- Top
+  | O.Fmt2 _ | O.Jump _ | O.Reti -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-function fixpoint *)
+
+let widen_limit = 8
+
+let fixpoint (f : Cfi.func) : (int, value array) Hashtbl.t =
+  let states : (int, value array) Hashtbl.t = Hashtbl.create 16 in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let work = Queue.create () in
+  let block_of = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_of b.Cfi.b_addr b) f.Cfi.f_blocks;
+  let schedule a st =
+    match Hashtbl.find_opt states a with
+    | None ->
+      Hashtbl.replace states a st;
+      Queue.push a work
+    | Some old ->
+      let j = Array.init 16 (fun r -> join_value old.(r) st.(r)) in
+      if j <> old then begin
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts a) + 1 in
+        Hashtbl.replace counts a c;
+        (* intervals can keep growing around a loop; past the limit,
+           degrade every still-changing register to Top *)
+        let j =
+          if c > widen_limit then
+            Array.init 16 (fun r -> if j.(r) = old.(r) then old.(r) else Top)
+          else j
+        in
+        if j <> old then begin
+          Hashtbl.replace states a j;
+          Queue.push a work
+        end
+      end
+  in
+  schedule f.Cfi.f_entry (Array.make 16 Top);
+  while not (Queue.is_empty work) do
+    let a = Queue.pop work in
+    match Hashtbl.find_opt block_of a with
+    | None -> ()
+    | Some b ->
+      let regs = Array.copy (Hashtbl.find states a) in
+      List.iter (fun i -> step regs i) b.Cfi.b_insns;
+      List.iter (fun (t, _) -> schedule t regs) b.Cfi.b_succs
+  done;
+  states
+
+(* ------------------------------------------------------------------ *)
+(* Certification *)
+
+(* Upper bound on the byte extent the kernel validates for [svc],
+   given the abstract length argument in R13.  Mirrors the clamps in
+   [Api.dispatch]; 128 is the universal worst case. *)
+let extent svc regs =
+  let n13 =
+    match regs.(13) with Iv (_, h) when h <= 0x7FFF -> Some h | _ -> None
+  in
+  match svc with
+  | "api_read_accel" | "api_read_ppg" -> (
+    match n13 with Some h -> 2 * max 1 (min 64 h) | None -> 128)
+  | "api_read_accel_xyz" -> 6
+  | "api_display_write" -> 1
+  | "api_log_append" | "api_send_ble" -> (
+    match n13 with Some h -> max 0 (min 128 h) | None -> 128)
+  | _ -> 128
+
+(* Indices of the pointer parameters of a service (position i is
+   passed in register 12+i). *)
+let ptr_params svc =
+  match List.assoc_opt svc Amulet_cc.Apis.signatures with
+  | Some (Ct.Func (_, args)) ->
+    List.mapi (fun i a -> (i, a)) args
+    |> List.filter (fun (_, a) -> match a with Ct.Ptr _ -> true | _ -> false)
+    |> List.map fst
+  | _ -> []
+
+type bounds = {
+  data_lo : int;
+  data_hi : int;
+  stack_top : int option;
+  sep : bool;  (** separate-stack mode *)
+}
+
+let certify_arg bounds stack fname svc regs idx =
+  let ext = extent svc regs in
+  match regs.(12 + idx) with
+  | Top -> (false, Printf.sprintf "arg %d: provenance unknown" idx)
+  | Iv (l, h) ->
+    if l >= bounds.data_lo && h + ext <= bounds.data_hi then
+      ( true,
+        Printf.sprintf "arg %d: [%04X,%04X]+%d within the D region" idx l h ext
+      )
+    else
+      (false, Printf.sprintf "arg %d: [%04X,%04X]+%d escapes the D region" idx l h ext)
+  | Fp (dl, dh) -> (
+    if not bounds.sep then
+      (false, Printf.sprintf "arg %d: frame-relative with a shared stack" idx)
+    else
+      match (bounds.stack_top, Stackcert.entry_max_of stack fname) with
+      | Some top, Some em ->
+        (* FP = entry SP - 2 (saved FP), and the entry SP sits between
+           [stack_top - entry_max] and [stack_top - trampoline] *)
+        let fp_min = top - em - 2
+        and fp_max = top - Stackcert.trampoline_bytes - 2 in
+        if fp_min + dl >= bounds.data_lo && fp_max + dh + ext <= bounds.data_hi
+        then
+          ( true,
+            Printf.sprintf "arg %d: FP%+d..FP%+d+%d within the D region" idx dl
+              dh ext )
+        else
+          ( false,
+            Printf.sprintf "arg %d: FP%+d..FP%+d+%d may escape the D region"
+              idx dl dh ext )
+      | _, None ->
+        (false,
+         Printf.sprintf "arg %d: no certified entry depth for %s" idx fname)
+      | None, _ -> (false, Printf.sprintf "arg %d: no stack_top symbol" idx))
+
+let analyze ~(cfg : Cfi.t) ~(stack : Stackcert.t) ~(image : I.t) =
+  let prefix = cfg.Cfi.cf_prefix in
+  let sym name =
+    try I.symbol image name
+    with Not_found ->
+      invalid_arg (Printf.sprintf "gate_taint: image has no %s" name)
+  in
+  let bounds =
+    {
+      data_lo = sym (Iso.data_lo_sym ~prefix);
+      data_hi = sym (Iso.data_hi_sym ~prefix);
+      stack_top =
+        (try Some (I.symbol image (Iso.stack_top_sym ~prefix) land lnot 1)
+         with Not_found -> None);
+      sep = Iso.separate_stacks cfg.Cfi.cf_mode;
+    }
+  in
+  let sites = ref [] in
+  List.iter
+    (fun (f : Cfi.func) ->
+      let states = fixpoint f in
+      List.iter
+        (fun (b : Cfi.block) ->
+          match Hashtbl.find_opt states b.Cfi.b_addr with
+          | None -> () (* unreachable *)
+          | Some st ->
+            let regs = Array.copy st in
+            List.iter
+              (fun (i : Cfi.insn) ->
+                (match Cfi.call_target cfg i.Cfi.i_op with
+                | Some (Cfi.C_gate svc) -> (
+                  match ptr_params svc with
+                  | [] -> () (* nothing for the kernel to validate *)
+                  | idxs ->
+                    let results =
+                      List.map
+                        (certify_arg bounds stack f.Cfi.f_name svc regs)
+                        idxs
+                    in
+                    let certified = List.for_all fst results in
+                    let reason =
+                      String.concat "; "
+                        (List.map snd
+                           (if certified then results
+                            else List.filter (fun (ok, _) -> not ok) results))
+                    in
+                    sites :=
+                      {
+                        gs_fn = f.Cfi.f_name;
+                        gs_addr = i.Cfi.i_addr;
+                        gs_service = svc;
+                        gs_certified = certified;
+                        gs_reason = reason;
+                      }
+                      :: !sites)
+                | _ -> ());
+                step regs i)
+              b.Cfi.b_insns)
+        f.Cfi.f_blocks)
+    (Cfi.functions cfg);
+  let sites = List.rev !sites in
+  let by_svc : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let cur =
+        Option.value ~default:true (Hashtbl.find_opt by_svc s.gs_service)
+      in
+      Hashtbl.replace by_svc s.gs_service (cur && s.gs_certified))
+    sites;
+  let certified =
+    Hashtbl.fold (fun k ok acc -> if ok then k :: acc else acc) by_svc []
+    |> List.sort compare
+  in
+  { gt_sites = sites; gt_certified = certified }
+
+let pp_site ppf s =
+  Format.fprintf ppf "%04X %s: %s %s — %s" s.gs_addr s.gs_fn s.gs_service
+    (if s.gs_certified then "certified" else "not certified")
+    s.gs_reason

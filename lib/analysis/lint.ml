@@ -1,0 +1,169 @@
+(* Whole-image static certifier.
+
+   Runs every analysis this library offers — the SFI verifier, CFI
+   reconstruction, the binary stack bound and gate-argument provenance
+   — over each app code section of a linked firmware image and folds
+   the outcomes into one diagnostic report (rendered human-readable or
+   as JSON by [bin/amulet_lint]).
+
+   [certified_gates] distills the report into the list of services
+   whose dynamic gate-pointer validation the kernel may elide for an
+   app: that elision is sound only when the code the analyses looked
+   at is the code that runs, so it additionally requires the CFI proof
+   and a mode that keeps app code immutable (everything except
+   No_isolation, where an unchecked wild store could rewrite the
+   certified instructions). *)
+
+module I = Amulet_link.Image
+module Iso = Amulet_cc.Isolation
+
+type severity = Note | Warn | Error
+
+type diag = {
+  d_app : string;  (** "" for image-level diagnostics *)
+  d_pass : string;  (** "image" | "sfi" | "cfi" | "stackcert" | "gates" *)
+  d_severity : severity;
+  d_addr : int option;
+  d_message : string;
+}
+
+type app_report = {
+  r_app : string;
+  r_sfi : (Verifier.stats, Verifier.violation list) result;
+  r_cfi : (Cfi.t, Cfi.violation list) result;
+  r_stack : Stackcert.verdict option;  (** None when CFI failed *)
+  r_gates : Gate_taint.t option;
+  r_certified : string list;  (** services safe to elide (see above) *)
+}
+
+type report = {
+  l_mode : Iso.mode;
+  l_apps : app_report list;
+  l_diags : diag list;
+  l_errors : int;
+  l_warnings : int;
+}
+
+let code_start_suffix = "_code__start"
+
+(* App prefixes present in the image, in address order, discovered
+   from the linker's section-bound symbols. *)
+let apps_of (image : I.t) =
+  List.filter_map
+    (fun (name, addr) ->
+      let n = String.length name and sn = String.length code_start_suffix in
+      if n > sn && String.sub name (n - sn) sn = code_start_suffix then
+        let prefix = String.sub name 0 (n - sn) in
+        if prefix = "os" then None else Some (addr, prefix)
+      else None)
+    image.I.symbols
+  |> List.sort compare |> List.map snd
+
+let severity_name = function Note -> "note" | Warn -> "warning" | Error -> "error"
+
+let lint_app ~image ~mode prefix =
+  let sfi = Verifier.verify_app ~image ~mode ~prefix in
+  let cfi = Cfi.reconstruct ~image ~mode ~prefix in
+  let stack, gates =
+    match cfi with
+    | Error _ -> (None, None)
+    | Ok cfg ->
+      let st = Stackcert.analyze ~cfg ~image in
+      (Some st.Stackcert.sc_verdict, Some (Gate_taint.analyze ~cfg ~stack:st ~image))
+  in
+  let certified =
+    match (gates, cfi) with
+    | Some gt, Ok _ when mode <> Iso.No_isolation -> gt.Gate_taint.gt_certified
+    | _ -> []
+  in
+  let diags = ref [] in
+  let diag ?addr pass severity message =
+    diags :=
+      { d_app = prefix; d_pass = pass; d_severity = severity; d_addr = addr;
+        d_message = message }
+      :: !diags
+  in
+  (match sfi with
+  | Ok st ->
+    diag "sfi" Note
+      (Format.asprintf "verified: %a" Verifier.pp_stats st)
+  | Error vs ->
+    List.iter
+      (fun (v : Verifier.violation) ->
+        diag ~addr:v.Verifier.vaddr "sfi" Error
+          (Printf.sprintf "%s: %s" v.Verifier.vtext v.Verifier.vreason))
+      vs);
+  (match cfi with
+  | Ok cfg ->
+    diag "cfi" Note
+      (Printf.sprintf "control flow certified: %d functions, %d instructions"
+         (List.length (Cfi.functions cfg))
+         cfg.Cfi.cf_insns)
+  | Error vs ->
+    List.iter
+      (fun (v : Cfi.violation) ->
+        diag ~addr:v.Cfi.cv_addr "cfi" Error
+          (Printf.sprintf "%s: %s" v.Cfi.cv_text v.Cfi.cv_reason))
+      vs);
+  (match stack with
+  | None -> ()
+  | Some v ->
+    let text = Format.asprintf "%a" Stackcert.pp_verdict v in
+    let sev =
+      match v with
+      | Stackcert.Certified _ | Stackcert.Not_applicable -> Note
+      | Stackcert.Unbounded { fenced = true; _ } -> Warn
+      | Stackcert.Unbounded { fenced = false; _ }
+      | Stackcert.Rejected _ -> Error
+      | Stackcert.Unanalyzable { addr = _; _ } -> Error
+    in
+    let addr = match v with Stackcert.Unanalyzable { addr; _ } -> Some addr | _ -> None in
+    diag ?addr "stackcert" sev ("stack " ^ text));
+  (match gates with
+  | None -> ()
+  | Some gt ->
+    List.iter
+      (fun (s : Gate_taint.site) ->
+        if not s.Gate_taint.gs_certified then
+          diag ~addr:s.Gate_taint.gs_addr "gates" Note
+            (Printf.sprintf "%s in %s keeps its dynamic check: %s"
+               s.Gate_taint.gs_service s.Gate_taint.gs_fn
+               s.Gate_taint.gs_reason))
+      gt.Gate_taint.gt_sites;
+    if certified <> [] then
+      diag "gates" Note
+        ("validation elidable for: " ^ String.concat ", " certified));
+  ( { r_app = prefix; r_sfi = sfi; r_cfi = cfi; r_stack = stack;
+      r_gates = gates; r_certified = certified },
+    List.rev !diags )
+
+let run ~(image : I.t) ~mode ~apps =
+  let per_app = List.map (lint_app ~image ~mode) apps in
+  let diags =
+    if apps = [] then
+      [ { d_app = ""; d_pass = "image"; d_severity = Error; d_addr = None;
+          d_message = "image has no app code sections: nothing was certified" } ]
+    else List.concat_map snd per_app
+  in
+  let count s = List.length (List.filter (fun d -> d.d_severity = s) diags) in
+  {
+    l_mode = mode;
+    l_apps = List.map fst per_app;
+    l_diags = diags;
+    l_errors = count Error;
+    l_warnings = count Warn;
+  }
+
+(* Services whose gate-pointer validation the kernel may skip for
+   [prefix] — empty whenever any piece of the static evidence is
+   missing. *)
+let certified_gates ~image ~mode ~prefix =
+  match lint_app ~image ~mode prefix with
+  | { r_certified; _ }, _ -> r_certified
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s%s: [%s/%s] %s"
+    (match d.d_addr with Some a -> Printf.sprintf "%04X " a | None -> "")
+    (severity_name d.d_severity)
+    (if d.d_app = "" then "image" else d.d_app)
+    d.d_pass d.d_message

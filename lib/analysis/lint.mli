@@ -1,0 +1,57 @@
+(** Whole-image static certifier: runs the SFI verifier, CFI
+    reconstruction, the binary stack bound ({!Stackcert}) and
+    gate-argument provenance ({!Gate_taint}) over every app section of
+    a linked firmware and folds the outcomes into one diagnostic
+    report.  [bin/amulet_lint] renders it; the AFT consumes
+    {!certified_gates} to stamp certification notes into the image. *)
+
+type severity = Note | Warn | Error
+
+type diag = {
+  d_app : string;  (** "" for image-level diagnostics *)
+  d_pass : string;  (** "image" | "sfi" | "cfi" | "stackcert" | "gates" *)
+  d_severity : severity;
+  d_addr : int option;
+  d_message : string;
+}
+
+type app_report = {
+  r_app : string;
+  r_sfi : (Verifier.stats, Verifier.violation list) result;
+  r_cfi : (Cfi.t, Cfi.violation list) result;
+  r_stack : Stackcert.verdict option;  (** [None] when CFI failed *)
+  r_gates : Gate_taint.t option;
+  r_certified : string list;
+      (** services whose dynamic gate-pointer validation is provably
+          redundant for this app (requires the CFI proof and a mode
+          that keeps app code immutable) *)
+}
+
+type report = {
+  l_mode : Amulet_cc.Isolation.mode;
+  l_apps : app_report list;
+  l_diags : diag list;
+  l_errors : int;
+  l_warnings : int;
+}
+
+val apps_of : Amulet_link.Image.t -> string list
+(** App prefixes in the image, in address order, from the linker's
+    [<prefix>_code__start] symbols (the OS section excluded). *)
+
+val run :
+  image:Amulet_link.Image.t ->
+  mode:Amulet_cc.Isolation.mode ->
+  apps:string list ->
+  report
+(** An empty [apps] list yields a single image-level error diagnostic
+    (a firmware with nothing to certify must not pass vacuously). *)
+
+val certified_gates :
+  image:Amulet_link.Image.t ->
+  mode:Amulet_cc.Isolation.mode ->
+  prefix:string ->
+  string list
+
+val severity_name : severity -> string
+val pp_diag : Format.formatter -> diag -> unit

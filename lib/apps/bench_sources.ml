@@ -64,6 +64,31 @@ void handle_button(int arg) {
 }
 |}
 
+(* Gate-dense microbenchmark for the gate-certification ablation:
+   every iteration crosses the OS gate twice with a pointer argument
+   the static certifier can prove in-region, so the kernel's dynamic
+   range validation is pure overhead here. *)
+let gate_ptr_calls = 16
+
+let gateheavy =
+  {|
+int buf[16];
+char msg[8];
+int acc = 0;
+
+void handle_init(int arg) { acc = 0; }
+
+void handle_button(int arg) {
+  int i;
+  for (i = 0; i < 8; i++) {
+    api_read_accel(buf, 8);
+    acc += buf[0];
+    msg[0] = 103;
+    api_log_append(msg, 8);
+  }
+}
+|}
+
 let activity =
   {|
 int win[64];

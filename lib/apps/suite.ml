@@ -23,6 +23,7 @@ let platform_apps =
 
 let synthetic = simple "synthetic" "Synthetic" Bench_sources.synthetic
 let callheavy = simple "callheavy" "CallHeavy" Bench_sources.callheavy
+let gateheavy = simple "gateheavy" "GateHeavy" Bench_sources.gateheavy
 let activity = simple "activity" "Activity" Bench_sources.activity
 
 let quicksort =
@@ -33,7 +34,7 @@ let quicksort =
     source_feature_limited = Some Bench_sources.quicksort_feature_limited;
   }
 
-let benchmark_apps = [ synthetic; activity; quicksort; callheavy ]
+let benchmark_apps = [ synthetic; activity; quicksort; callheavy; gateheavy ]
 
 let extension_apps =
   [

@@ -16,6 +16,7 @@ val platform_apps : app list
 
 val synthetic : app
 val callheavy : app
+val gateheavy : app
 val activity : app
 val quicksort : app
 val benchmark_apps : app list

@@ -24,6 +24,12 @@ type fn_info = {
   fi_sites : site_stats;
   fi_static_sites : int;
   fi_fnptr_calls : int;
+  fi_spill_bytes : int;
+      (* measured high-water mark of transient stack temporaries
+         (expression spills + pushed call arguments) *)
+  fi_runtime_bytes : int;
+      (* deepest stack use of any runtime-helper or gate call made by
+         this function (0 when it makes none) *)
 }
 
 type output = {
@@ -83,10 +89,35 @@ type fctx = {
   mutable elided : int;
   mutable statics : int;
   mutable fnptr : int;
+  mutable cur_push : int; (* bytes of live temporaries on the stack *)
+  mutable max_push : int; (* high-water mark of cur_push *)
+  mutable runtime_max : int; (* deepest runtime-helper/gate stack use *)
   epilogue : string;
 }
 
 let out c item = c.buf := item :: !(c.buf)
+
+(* Track transient stack temporaries (expression spills, pushed call
+   arguments) so the source-level stack bound can charge each function
+   its measured spill high-water mark instead of a fixed slack. *)
+let note_push c bytes =
+  c.cur_push <- c.cur_push + bytes;
+  if c.cur_push > c.max_push then c.max_push <- c.cur_push
+
+let note_pop c bytes = c.cur_push <- c.cur_push - bytes
+
+(* Total stack bytes a runtime-helper or gate call occupies below the
+   caller's SP: its return address plus any pushes of its own (gates
+   save 8 registers; __divhi/__modhi wrap __udivmod). *)
+let note_runtime c callee =
+  let bytes =
+    match callee with
+    | "__gate" -> 18
+    | "__umodhi" -> 4
+    | "__divhi" | "__modhi" -> 6
+    | _ -> 2 (* __mulhi __udivhi __shlhi __shrhi __sarhi __bounds_check *)
+  in
+  if bytes > c.runtime_max then c.runtime_max <- bytes
 
 let fresh c tag =
   c.labels <- c.labels + 1;
@@ -203,6 +234,7 @@ let emit_array_check c idx_reg len =
   out c (A.label gs);
   out c (A.mov (A.Sreg idx_reg) (A.Dreg 14));
   out c (A.mov (A.imm len) (A.Dreg 15));
+  note_runtime c "__bounds_check";
   out c (A.call "__bounds_check");
   out c (A.label ge)
 
@@ -321,6 +353,7 @@ let log2_exact n =
 let helper_binop c name ra rb =
   out c (A.mov (A.Sreg ra) (A.Dreg 12));
   out c (A.mov (A.Sreg rb) (A.Dreg 13));
+  note_runtime c name;
   out c (A.call name);
   out c (A.mov (A.Sreg 12) (A.Dreg ra))
 
@@ -338,6 +371,7 @@ let emit_scale c reg n =
     | None ->
       out c (A.mov (A.Sreg reg) (A.Dreg 12));
       out c (A.mov (A.imm n) (A.Dreg 13));
+      note_runtime c "__mulhi";
       out c (A.call "__mulhi");
       out c (A.mov (A.Sreg 12) (A.Dreg reg)))
 
@@ -435,18 +469,25 @@ let rec eval c (e : texpr) : int =
       (* register-starved: park the branch result on the stack so the
          arms evaluate with the full remaining pool *)
       branch c cond ~if_true:ltrue ~if_false:lfalse;
+      (* the two arms are alternatives: each pushes once, the join
+         pops once, so the depth accounting must not stack them *)
+      let depth0 = c.cur_push in
       out c (A.label ltrue);
       let rt = eval c t in
       out c (A.push (A.Sreg rt));
+      note_push c 2;
       free_reg c rt;
       out c (A.jmp lend);
+      c.cur_push <- depth0;
       out c (A.label lfalse);
       let rf = eval c f in
       out c (A.push (A.Sreg rf));
+      note_push c 2;
       free_reg c rf;
       out c (A.label lend);
       let rd = alloc c in
       out c (A.pop rd);
+      note_pop c 2;
       rd
     end
   | Tcall (name, args) -> eval_call c name args
@@ -473,11 +514,13 @@ and eval_pair c a b =
   let ra = eval c a in
   if c.free = [] then begin
     out c (A.push (A.Sreg ra));
+    note_push c 2;
     free_reg c ra;
     let rb = eval c b in
     (* move b aside, restore a into the pool register *)
     out c (A.mov (A.Sreg rb) (A.Dreg 13));
     out c (A.pop rb);
+    note_pop c 2;
     (rb, 13)
   end
   else (ra, eval c b)
@@ -513,6 +556,7 @@ and eval_bin c op a b loc =
       | None ->
         out c (A.mov (A.Sreg ra) (A.Dreg 12));
         out c (A.mov (A.imm size) (A.Dreg 13));
+        note_runtime c "__divhi";
         out c (A.call "__divhi");
         out c (A.mov (A.Sreg 12) (A.Dreg ra)))
     | _ -> ());
@@ -712,6 +756,7 @@ and push_args c args =
     (fun a ->
       let r = eval c a in
       out c (A.push (A.Sreg r));
+      note_push c 2;
       free_reg c r)
     (List.rev args);
   2 * List.length args
@@ -723,7 +768,10 @@ and eval_call c name args =
     let bytes = push_args c args in
     c.calls <- name :: c.calls;
     out c (A.call (Isolation.mangle ~prefix:c.p.prefix name));
-    if bytes > 0 then out c (A.add (A.imm bytes) (A.Dreg A.r_sp));
+    if bytes > 0 then begin
+      out c (A.add (A.imm bytes) (A.Dreg A.r_sp));
+      note_pop c bytes
+    end;
     let rd = alloc c in
     out c (A.mov (A.Sreg 12) (A.Dreg rd));
     rd
@@ -741,6 +789,7 @@ and eval_api_call c name args =
     regs;
   List.iter (free_reg c) regs;
   c.api_calls <- name :: c.api_calls;
+  note_runtime c "__gate";
   out c (A.call ("__gate_" ^ name));
   let rd = alloc c in
   out c (A.mov (A.Sreg 12) (A.Dreg rd));
@@ -782,7 +831,10 @@ and eval_call_ptr c callee args =
   emit_code_check c rc;
   out c (A.call_reg rc);
   free_reg c rc;
-  if bytes > 0 then out c (A.add (A.imm bytes) (A.Dreg A.r_sp));
+  if bytes > 0 then begin
+    out c (A.add (A.imm bytes) (A.Dreg A.r_sp));
+    note_pop c bytes
+  end;
   let rd = alloc c in
   out c (A.mov (A.Sreg 12) (A.Dreg rd));
   rd
@@ -973,7 +1025,8 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
       p; fname = f.tfname; locals; frame_bytes = frame;
       buf = ref []; labels = 0; used = []; free = [ 5; 6; 7; 8; 9; 10; 11 ];
       breaks = []; continues = []; calls = []; api_calls = [];
-      checked = 0; elided = 0; statics = 0; fnptr = 0; epilogue;
+      checked = 0; elided = 0; statics = 0; fnptr = 0;
+      cur_push = 0; max_push = 0; runtime_max = 0; epilogue;
     }
   in
   List.iter (gen_stmt c) f.tfbody;
@@ -1056,6 +1109,8 @@ let gen_function (p : pctx) (f : tfunc) : A.item list * fn_info =
       fi_sites = { checked = c.checked; elided = c.elided; proven_unsafe = 0 };
       fi_static_sites = c.statics;
       fi_fnptr_calls = c.fnptr;
+      fi_spill_bytes = c.max_push;
+      fi_runtime_bytes = c.runtime_max;
     }
   in
   (prologue @ body @ epilogue_items, info)

@@ -46,6 +46,12 @@ type fn_info = {
   fi_sites : site_stats;  (** run-time-guarded vs elided dereferences *)
   fi_static_sites : int;  (** accesses discharged at compile time *)
   fi_fnptr_calls : int;
+  fi_spill_bytes : int;
+      (** measured high-water mark of transient stack temporaries
+          (expression spills + pushed call arguments) *)
+  fi_runtime_bytes : int;
+      (** deepest stack use of any runtime-helper or gate call made by
+          this function, including its return address; 0 when none *)
 }
 
 type output = {

@@ -39,6 +39,13 @@ let code_hi_sym ~prefix = code_section ~prefix ^ "__end"
 let data_lo_sym ~prefix = data_section ~prefix ^ "__start"
 let data_hi_sym ~prefix = data_section ~prefix ^ "__end"
 
+(* Label placed at the top of each app's stack area (= base of its
+   globals, rounded down to even).  The AFT layout and the standalone
+   test harness both emit it, so binary-level analyses can recover the
+   stack region [data_lo, stack_top) from the link map alone. *)
+let stack_top_sym ~prefix =
+  (if prefix = "" then "os" else prefix) ^ "$$stack_top"
+
 let fault_data_lo = 1
 let fault_data_hi = 2
 let fault_code_ptr = 3

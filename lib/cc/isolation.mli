@@ -47,6 +47,12 @@ val code_hi_sym : prefix:string -> string
 val data_lo_sym : prefix:string -> string
 val data_hi_sym : prefix:string -> string
 
+val stack_top_sym : prefix:string -> string
+(** Zero-size label at the top of the app's stack area (the base of
+    its globals, rounded down to even).  Emitted by the AFT layout and
+    the test harness so binary-level analyses can recover the stack
+    region [\[data_lo, stack_top)] from the link map alone. *)
+
 (** Software-fault reason codes written to the fault port. *)
 
 val fault_data_lo : int

@@ -1,13 +1,13 @@
 type result = Finite of int | Recursive of string list
 
-(* Slack per activation: expression spills are bounded by the scratch
-   pool (7 words) and runtime helpers use at most 2 stack words. *)
-let slack = 2 * (7 + 2)
-
+(* Per-activation cost: frame plus the function's *measured* spill
+   high-water mark and deepest runtime-helper/gate stack use, as
+   recorded by codegen — no fixed worst-case slack. *)
 let frame_cost (fi : Codegen.fn_info) =
   2 (* return address *) + 2 (* saved FP *)
   + (2 * fi.Codegen.fi_saved_regs)
-  + fi.Codegen.fi_frame_bytes + slack
+  + fi.Codegen.fi_frame_bytes + fi.Codegen.fi_spill_bytes
+  + fi.Codegen.fi_runtime_bytes
 
 let analyze infos ~root =
   let by_name = Hashtbl.create 16 in

@@ -13,8 +13,10 @@ type result =
 
 val frame_cost : Codegen.fn_info -> int
 (** Bytes one activation of the function consumes: return address,
-    saved frame pointer, callee-saved registers, locals, plus slack
-    for expression spills and runtime-helper calls. *)
+    saved frame pointer, callee-saved registers, locals, plus the
+    codegen-measured spill high-water mark and deepest
+    runtime-helper/gate stack use ([fi_spill_bytes] and
+    [fi_runtime_bytes]). *)
 
 val analyze : Codegen.fn_info list -> root:string -> result
 

@@ -24,9 +24,9 @@ let measure_in_kernel k ~app_index ~arg ~runs =
   done;
   float_of_int !total /. float_of_int (max 1 !count)
 
-let measure_handler ?(shadow = false) ?(elide = true) ~mode ~app ~arg ~runs ()
-    =
-  let fw = Aft.build ~mode ~shadow ~elide [ Apps.spec_for mode app ] in
+let measure_handler ?(shadow = false) ?(elide = true) ?(certify = true) ~mode
+    ~app ~arg ~runs () =
+  let fw = Aft.build ~mode ~shadow ~elide ~certify [ Apps.spec_for mode app ] in
   let k = Os.Kernel.create ~scenario:Os.Sensors.Walking fw in
   let _ = Os.Kernel.run_for_ms k 5 in
   measure_in_kernel k ~app_index:0 ~arg ~runs
@@ -219,5 +219,41 @@ let ablation_elision ?(runs = 100) () =
         el_elided = elided;
         el_sites = sites;
         el_saving_percent = (full -. elided) /. full *. 100.0;
+      })
+    [ Iso.Software_only; Iso.Mpu_assisted ]
+
+(* Gate-pointer certification: the static certifier proves every
+   pointer the gate-dense benchmark hands the OS in-region, so the
+   kernel's dynamic range validation disappears for its services. *)
+
+type gate_cert_row = {
+  gc_mode : Iso.mode;
+  gc_dynamic : float;  (* cycles per run, every gate pointer validated *)
+  gc_certified : float;  (* cycles per run, certified services elided *)
+  gc_per_gate : float;  (* marginal cycles per pointer-carrying call *)
+  gc_services : string list;  (* services certified for the app *)
+}
+
+let ablation_gate_cert ?(runs = 100) () =
+  let app = Apps.gateheavy in
+  let gates = float_of_int Amulet_apps.Bench_sources.gate_ptr_calls in
+  List.map
+    (fun mode ->
+      let dynamic = measure_handler ~mode ~app ~certify:false ~arg:1 ~runs () in
+      let certified = measure_handler ~mode ~app ~certify:true ~arg:1 ~runs () in
+      let fw = Aft.build ~mode [ Apps.spec_for mode app ] in
+      let services =
+        match
+          Amulet_link.Image.note fw.Aft.fw_image ("cert.gates." ^ app.Apps.name)
+        with
+        | Some s -> String.split_on_char ',' s
+        | None -> []
+      in
+      {
+        gc_mode = mode;
+        gc_dynamic = dynamic;
+        gc_certified = certified;
+        gc_per_gate = (dynamic -. certified) /. gates;
+        gc_services = services;
       })
     [ Iso.Software_only; Iso.Mpu_assisted ]

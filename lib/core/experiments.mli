@@ -55,6 +55,7 @@ val figure3 : ?runs:int -> unit -> figure3_row list
 val measure_handler :
   ?shadow:bool ->
   ?elide:bool ->
+  ?certify:bool ->
   mode:Iso.mode ->
   app:Amulet_apps.Suite.app ->
   arg:int ->
@@ -63,7 +64,9 @@ val measure_handler :
   float
 (** Average cycles per dispatch of the app's [handle_button] with the
     given argument; [shadow] arms the InfoMem shadow stack, [elide]
-    (default true) lets the range analysis drop proven guards. *)
+    (default true) lets the range analysis drop proven guards,
+    [certify] (default true) lets the static certifier elide dynamic
+    gate-pointer validation. *)
 
 (** {1 Ablations beyond the paper} *)
 
@@ -101,3 +104,17 @@ val ablation_elision : ?runs:int -> unit -> elision_row list
 (** Cost recovered by range-analysis bounds-check elision on the
     synthetic memory benchmark, for the guard-inserting modes
     (Software-Only and MPU). *)
+
+type gate_cert_row = {
+  gc_mode : Iso.mode;
+  gc_dynamic : float;  (** cycles per run, every gate pointer validated *)
+  gc_certified : float;  (** cycles per run, certified services elided *)
+  gc_per_gate : float;  (** marginal cycles per pointer-carrying call *)
+  gc_services : string list;  (** services certified for the app *)
+}
+
+val ablation_gate_cert : ?runs:int -> unit -> gate_cert_row list
+(** Cost recovered by gate-argument provenance certification
+    ({!Amulet_analysis.Gate_taint}) on the gate-dense benchmark: the
+    kernel skips its dynamic pointer-range validation for certified
+    services. *)

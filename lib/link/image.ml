@@ -2,9 +2,14 @@ type t = {
   chunks : (int * Bytes.t) list;
   symbols : (string * int) list;
   entry : int;
+  notes : (string * string) list;
+      (* free-form certification metadata attached after linking,
+         e.g. "cert.gates.<app>" -> comma-separated service names *)
 }
 
 let symbol t name = List.assoc name t.symbols
+let note t key = List.assoc_opt key t.notes
+let with_notes t notes = { t with notes }
 let has_symbol t name = List.mem_assoc name t.symbols
 
 let chunk_containing t addr =

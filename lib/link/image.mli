@@ -4,12 +4,20 @@ type t = {
   chunks : (int * Bytes.t) list;  (** (base address, contents) *)
   symbols : (string * int) list;
   entry : int;
+  notes : (string * string) list;
+      (** free-form certification metadata attached after linking,
+          e.g. ["cert.gates.<app>"] -> comma-separated service names *)
 }
 
 val symbol : t -> string -> int
 (** @raise Not_found when the symbol is undefined. *)
 
 val has_symbol : t -> string -> bool
+
+val note : t -> string -> string option
+(** Look up a metadata note by key. *)
+
+val with_notes : t -> (string * string) list -> t
 
 val load : t -> Amulet_mcu.Machine.t -> unit
 (** Blit all chunks into machine memory and point the reset vector at

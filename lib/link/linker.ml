@@ -52,4 +52,4 @@ let link ?(extra_symbols = []) ~entry sections =
       sections
   in
   let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
-  { Image.chunks; symbols; entry = resolve entry }
+  { Image.chunks; symbols; entry = resolve entry; notes = [] }

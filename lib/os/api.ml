@@ -44,19 +44,19 @@ let base_charge = function
   | "api_null" -> 0
   | "api_get_time" -> 6
   | "api_get_battery" -> 10
-  | "api_read_accel" -> 24
-  | "api_read_accel_xyz" -> 30
+  | "api_read_accel" -> 16
+  | "api_read_accel_xyz" -> 22
   | "api_read_heart_rate" -> 18
-  | "api_read_ppg" -> 24
+  | "api_read_ppg" -> 16
   | "api_read_temperature" -> 14
   | "api_read_light" -> 12
-  | "api_display_write" -> 60
+  | "api_display_write" -> 52
   | "api_display_clear" -> 40
   | "api_button_state" -> 6
   | "api_led" -> 4
   | "api_buzz" -> 8
-  | "api_log_append" -> 50
-  | "api_send_ble" -> 80
+  | "api_log_append" -> 42
+  | "api_send_ble" -> 72
   | "api_set_timer" -> 20
   | "api_cancel_timer" -> 12
   | "api_subscribe" -> 24
@@ -66,12 +66,18 @@ let base_charge = function
 
 let per_word_charge = 2
 
+(* Cycles the kernel spends validating one app-supplied pointer range
+   (two bound compares plus the range walk).  Charged at [with_range];
+   statically certified call sites ({!Amulet_analysis.Gate_taint})
+   skip both the walk and the charge. *)
+let validate_charge = 8
+
 let xorshift16 s =
   let s = s lxor (s lsl 7) land 0xFFFF in
   let s = s lxor (s lsr 9) in
   s lxor (s lsl 8) land 0xFFFF
 
-let dispatch t machine ~valid ~now_ms ~svc =
+let dispatch t ?(certified = fun _ -> false) machine ~valid ~now_ms ~svc =
   let regs = M.regs machine in
   let arg n = R.get regs (12 + n) in
   let set_result v = R.set regs 12 (v land 0xFFFF) in
@@ -85,13 +91,19 @@ let dispatch t machine ~valid ~now_ms ~svc =
   t.calls <- t.calls + 1;
   charge (base_charge name);
   (* Validated app-memory access.  [f] runs only when the whole range
-     [addr, addr+len) lies inside the app's writable region. *)
+     [addr, addr+len) lies inside the app's writable region.  When the
+     static certifier proved every pointer reaching this service's
+     call sites in-region, the walk (and its charge) is skipped. *)
   let with_range addr len f =
-    let inside (lo, hi) = addr >= lo && addr + len <= hi in
-    if len >= 0 && List.exists inside valid then f ()
+    if certified name then f ()
     else begin
-      effect (Pointer_fault { service = name; addr; len });
-      set_result 0xFFFF
+      charge validate_charge;
+      let inside (lo, hi) = addr >= lo && addr + len <= hi in
+      if len >= 0 && List.exists inside valid then f ()
+      else begin
+        effect (Pointer_fault { service = name; addr; len });
+        set_result 0xFFFF
+      end
     end
   in
   (* writable span ending at the first range boundary above addr *)

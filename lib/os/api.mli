@@ -36,8 +36,13 @@ val create : Sensors.t -> t
 val service_count : int
 val service_name : int -> string option
 
+val validate_charge : int
+(** Cycles charged for dynamically validating one app-supplied pointer
+    range; elided for statically certified services. *)
+
 val dispatch :
   t ->
+  ?certified:(string -> bool) ->
   Amulet_mcu.Machine.t ->
   valid:(int * int) list ->
   now_ms:int ->
@@ -45,4 +50,8 @@ val dispatch :
   effect list
 (** [valid] lists the half-open address ranges the calling app may
     legitimately hand to the OS (its data segment, plus the shared
-    SRAM stack in the shared-stack modes). *)
+    SRAM stack in the shared-stack modes).  [certified] (default:
+    nothing) says which services the static certifier proved safe to
+    serve without the dynamic range validation
+    ({!Amulet_analysis.Gate_taint} via the image's [cert.gates.*]
+    notes). *)

@@ -38,6 +38,9 @@ type app_state = {
   mutable last_forensics : string option;
   mutable subscriptions : (Event.sensor * int) list;
   mutable timers : (int * int) list;
+  certified_gates : string list;
+      (* services whose gate-pointer validation the static certifier
+         proved redundant (the image's [cert.gates.<app>] note) *)
   metrics : Obs.Metrics.t;
       (* keys: ["handler"; h] and ["state"; state; h] (ARP view) *)
   state_addr : int option;
@@ -150,6 +153,13 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed ?obs fw =
              last_forensics = None;
              subscriptions = [];
              timers = [];
+             certified_gates =
+               (match
+                  Amulet_link.Image.note fw.Aft.fw_image
+                    ("cert.gates." ^ build.Aft.ab_name)
+                with
+               | Some s -> String.split_on_char ',' s
+               | None -> []);
              metrics = Obs.Metrics.create ();
              state_addr =
                (if Amulet_link.Image.has_symbol fw.Aft.fw_image state_sym then
@@ -182,8 +192,9 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed ?obs fw =
           Obs.instant obs ~cat:"api" ~tid:t.current_app ~name ~ts:(vnow t) ()
         | None -> ());
         let effects =
-          Api.dispatch t.api m ~valid:(valid_ranges t app) ~now_ms:(now_ms t)
-            ~svc
+          Api.dispatch t.api m
+            ~certified:(fun name -> List.mem name app.certified_gates)
+            ~valid:(valid_ranges t app) ~now_ms:(now_ms t) ~svc
         in
         apply_effects t app effects
       end);

@@ -53,6 +53,11 @@ type app_state = {
           fault (only when an observability context is attached) *)
   mutable subscriptions : (Event.sensor * int) list;  (** sensor, rate Hz *)
   mutable timers : (int * int) list;  (** id, period ms *)
+  certified_gates : string list;
+      (** services whose gate-pointer validation the static certifier
+          proved redundant for this app (from the image's
+          [cert.gates.<app>] note); {!Api.dispatch} skips the dynamic
+          range walk for them *)
   metrics : Amulet_obs.Obs.Metrics.t;
       (** keyed [\["handler"; h\]] and [\["state"; st; h\]] *)
   state_addr : int option;

@@ -50,7 +50,11 @@ let build ?(mode = Cc.Isolation.No_isolation) ?(shadow = false) src =
          ]
        else [])
     @ (if uses_own_stack then
-         [ A.mov (A.Simm (A.Sym "prog$$stack_top")) (A.Dreg A.r_sp) ]
+         [
+           A.mov
+             (A.Simm (A.Sym (Cc.Isolation.stack_top_sym ~prefix:"prog")))
+             (A.Dreg A.r_sp);
+         ]
        else [])
     @ (if Cc.Isolation.uses_mpu mode then
          (* seg1 = everything below the program's data (x-only),
@@ -71,7 +75,9 @@ let build ?(mode = Cc.Isolation.No_isolation) ?(shadow = false) src =
   in
   let data_items =
     if uses_own_stack then
-      (A.Space stack_bytes :: A.label "prog$$stack_top" :: cu.Cc.Driver.data)
+      (A.Space stack_bytes
+      :: A.label (Cc.Isolation.stack_top_sym ~prefix:"prog")
+      :: cu.Cc.Driver.data)
     else cu.Cc.Driver.data
   in
   let code_items = cu.Cc.Driver.code @ exit_stub in

@@ -495,7 +495,7 @@ let feature_check_cases =
 (* ------------------------------------------------------------------ *)
 (* AFT stack-depth analysis on hand-built call graphs *)
 
-let fi ?(frame = 0) ?(saved = 0) name calls =
+let fi ?(frame = 0) ?(saved = 0) ?(spill = 0) ?(runtime = 0) name calls =
   {
     Cc.Codegen.fi_name = name;
     fi_frame_bytes = frame;
@@ -505,9 +505,11 @@ let fi ?(frame = 0) ?(saved = 0) name calls =
     fi_sites = { Cc.Codegen.checked = 0; elided = 0; proven_unsafe = 0 };
     fi_static_sites = 0;
     fi_fnptr_calls = 0;
+    fi_spill_bytes = spill;
+    fi_runtime_bytes = runtime;
   }
 
-(* frame_cost of a leaf with no locals/saves: ret + FP + slack *)
+(* frame_cost of a leaf with no locals/saves/spills: ret + FP *)
 let leaf_cost = Cc.Stack_depth.frame_cost (fi "leaf" [])
 
 let check_depth name expected got =
@@ -549,12 +551,12 @@ let test_depth_mutual_recursion () =
     (Cc.Stack_depth.analyze mutual ~root:"b")
 
 let test_depth_worst_case_default () =
-  let infos = mutual @ [ fi "solo" [] ] in
+  let infos = mutual @ [ fi ~frame:20 "solo" [] ] in
   Alcotest.(check int)
     "recursive root falls back to default" 512
     (Cc.Stack_depth.worst_case infos ~roots:[ "main"; "solo" ] ~default:512);
   Alcotest.(check int)
-    "finite root can exceed the default" leaf_cost
+    "finite root can exceed the default" (leaf_cost + 20)
     (Cc.Stack_depth.worst_case infos ~roots:[ "main"; "solo" ] ~default:10)
 
 let stack_depth_cases =

@@ -13,6 +13,7 @@
 module H = Test_support.Harness
 module Iso = Amulet_cc.Isolation
 module M = Amulet_mcu.Machine
+module An = Amulet_analysis
 
 (* ------------------------------------------------------------------ *)
 (* Expression language shared by generator, printer and evaluator *)
@@ -171,6 +172,29 @@ let diff_property mode =
       let src = to_source p in
       run_mode mode src = reference_result p)
 
+(* Every random program's binary must also pass both independent
+   static checkers — the SFI verifier and the CFI reconstruction.  The
+   emitter, the verifier and the CFI pass share no code, so a program
+   the simulator runs correctly but a checker rejects means one of the
+   three disagrees about the policy. *)
+let static_certification mode =
+  QCheck2.Test.make ~count:60
+    ~name:("SFI and CFI accept (" ^ Iso.name mode ^ ")")
+    ~print:to_source gen_program
+    (fun p ->
+      let _cu, image = H.build ~mode (to_source p) in
+      let sfi_ok =
+        match An.Verifier.verify_app ~image ~mode ~prefix:"prog" with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      let cfi_ok =
+        match An.Cfi.reconstruct ~image ~mode ~prefix:"prog" with
+        | Ok _ -> true
+        | Error _ -> false
+      in
+      sfi_ok && cfi_ok)
+
 (* All modes agree with each other on the same program (a weaker but
    broader check run on fewer cases). *)
 let mode_agreement =
@@ -192,5 +216,11 @@ let () =
             diff_property Iso.Software_only;
             diff_property Iso.Feature_limited;
             mode_agreement;
+          ] );
+      ( "static-certification",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            static_certification Iso.Mpu_assisted;
+            static_certification Iso.Software_only;
           ] );
     ]
