@@ -222,6 +222,66 @@ let run_observability () =
     (List.length (Amulet_obs.Summary.of_string (Buffer.contents buf)))
 
 (* ------------------------------------------------------------------ *)
+(* Fault injector: zero cost when armed with an empty schedule *)
+
+let run_injector_zero_cost () =
+  section "Fault injector: armed-but-idle runs are byte-identical";
+  let module Aft = Amulet_aft.Aft in
+  let module Os = Amulet_os in
+  let module Obs = Amulet_obs.Obs in
+  let module Apps = Amulet_apps.Suite in
+  let app = List.find (fun a -> a.Apps.name = "pedometer") Apps.all in
+  let seconds = 5 in
+  let run ~armed =
+    let fw =
+      Aft.build ~mode:Iso.Mpu_assisted [ Apps.spec_for Iso.Mpu_assisted app ]
+    in
+    let obs = Obs.create () in
+    Obs.enable_profile obs fw;
+    let k = Os.Kernel.create ~scenario:Os.Sensors.Walking ~obs fw in
+    let inj =
+      if armed then
+        Some
+          (Amulet_sec.Inject.arm
+             (Amulet_sec.Inject.plan ~seed:7 ~flips:0 ~window:(0, 1)
+                Amulet_sec.Inject.Regs)
+             k.Os.Kernel.machine)
+      else None
+    in
+    let _ = Os.Kernel.run_for_ms k (seconds * 1000) in
+    let cycles = Amulet_mcu.Machine.cycles k.Os.Kernel.machine in
+    let report =
+      match Obs.profile obs with
+      | Some p ->
+        Format.asprintf "%a" Amulet_obs.Profile.pp_report
+          (Amulet_obs.Profile.report p ~machine:k.Os.Kernel.machine)
+      | None -> failwith "no profiler"
+    in
+    Obs.close obs;
+    (match inj with
+    | Some inj ->
+      if Amulet_sec.Inject.flips_done inj <> 0 then
+        failwith "idle injector applied a flip";
+      if Amulet_sec.Inject.steps inj = 0 then
+        failwith "armed injector observed no instructions"
+    | None -> ());
+    (cycles, report)
+  in
+  let bare_cycles, bare_report = run ~armed:false in
+  let armed_cycles, armed_report = run ~armed:true in
+  Printf.printf "pedometer, mpu mode, %d virtual s: %d cycles bare, %d armed\n"
+    seconds bare_cycles armed_cycles;
+  if bare_cycles <> armed_cycles then
+    failwith
+      (Printf.sprintf "idle injector is not free: %d vs %d cycles" bare_cycles
+         armed_cycles);
+  if not (String.equal bare_report armed_report) then
+    failwith "idle injector perturbed the profiler report";
+  Printf.printf
+    "injector armed with an empty schedule: cycle totals equal and\n\
+     profiler reports byte-identical (asserted)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate *)
 
 let loop_machine () =
@@ -320,5 +380,6 @@ let () =
   run_figure2 ();
   run_ablations ();
   run_observability ();
+  run_injector_zero_cost ();
   bechamel_benches ();
   Printf.printf "\ndone.\n"

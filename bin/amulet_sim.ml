@@ -52,7 +52,8 @@ let spec_of mode arg =
       source = read_file arg;
     }
 
-let run_cmd mode scenario seconds trace trace_format profile apps =
+let run_cmd mode scenario seconds trace trace_format profile expect_fault apps
+    =
   try
     let specs = List.map (spec_of mode) apps in
     let fw = Aft.build ~mode specs in
@@ -115,7 +116,18 @@ let run_cmd mode scenario seconds trace trace_format profile apps =
       | Some path -> Format.printf "trace written to %s@." path
       | None -> ())
     | None -> ());
-    0
+    let unrecovered = Os.Kernel.unrecovered_faults k in
+    List.iter
+      (fun (app, fault) ->
+        Format.eprintf "unrecovered fault: app %s disabled (%s)@." app fault)
+      unrecovered;
+    (match (unrecovered, expect_fault) with
+    | [], false -> 0
+    | _ :: _, true -> 0
+    | _ :: _, false -> 2
+    | [], true ->
+      Format.eprintf "--expect-fault: no app ended disabled by a fault@.";
+      2)
   with
   | Amulet_cc.Srcloc.Error (loc, msg) ->
     Format.eprintf "error at %a: %s@." Amulet_cc.Srcloc.pp loc msg;
@@ -172,6 +184,15 @@ let profile_arg =
           "Classify every executed cycle into app code / bounds guards / OS \
            gate / MPU reconfig / kernel and print the breakdown.")
 
+let expect_fault_arg =
+  Arg.(
+    value & flag
+    & info [ "expect-fault" ]
+        ~doc:
+          "Invert the fault exit logic: succeed only if at least one app \
+           ends the run disabled by an unrecovered fault.  For negative \
+           tests that drive deliberately faulty apps.")
+
 let apps_arg =
   Arg.(
     non_empty & pos_all string []
@@ -186,6 +207,6 @@ let cmd =
     (Cmd.info "amulet_sim" ~doc)
     Term.(
       const run_cmd $ mode_arg $ scenario_arg $ seconds_arg $ trace_arg
-      $ trace_format_arg $ profile_arg $ apps_arg)
+      $ trace_format_arg $ profile_arg $ expect_fault_arg $ apps_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,61 @@
+(* Fixture applications for the adversarial campaign (lib/sec).
+
+   These are *benign* apps: the victim exposes well-known state the
+   attack oracle can inspect, and the carrier reserves a large, easily
+   located handler body that binary-level attacks overwrite with
+   hand-encoded payloads.  The malicious sources themselves are
+   generated in [Amulet_sec.Attacks], parameterized by the concrete
+   firmware layout. *)
+
+(* The victim fills an 8-word canary array with 0xC0DE during init and
+   never touches it again; any later change to those words is evidence
+   of a cross-app breach.  [handle_button] bumps a counter so the
+   kernel's liveness probe has a handler to land on. *)
+let victim =
+  {|
+int canary[8];
+int presses = 0;
+int beats = 0;
+
+void handle_init(int arg) {
+  int i;
+  for (i = 0; i < 8; i++) canary[i] = 49374;
+  api_set_timer(1000);
+}
+
+void handle_timer(int arg) {
+  beats += 1;
+}
+
+void handle_button(int arg) {
+  presses += 1;
+}
+|}
+
+(* The carrier's [handle_timer] is a long run of independent increments
+   — plenty of room (and a trivially recognizable shape) for a binary
+   payload patched over its first words.  It is scheduled exactly like
+   the source-level attackers (init arms a 50 ms timer), so patched
+   payloads run after every app's init. *)
+let carrier =
+  {|
+int pad0 = 0;
+int pad1 = 0;
+int pad2 = 0;
+int pad3 = 0;
+
+void handle_init(int arg) {
+  api_set_timer(50);
+}
+
+void handle_timer(int arg) {
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+  pad0 += 1; pad1 += 1; pad2 += 1; pad3 += 1;
+}
+|}

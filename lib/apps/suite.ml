@@ -43,7 +43,11 @@ let extension_apps =
     simple "med_reminder" "MedReminder" Extra_sources.med_reminder;
   ]
 
-let all = platform_apps @ benchmark_apps @ extension_apps
+let security_victim = simple "victim" "Victim" Sec_sources.victim
+let security_carrier = simple "carrier" "Carrier" Sec_sources.carrier
+let security_apps = [ security_victim; security_carrier ]
+
+let all = platform_apps @ benchmark_apps @ extension_apps @ security_apps
 let find name = List.find (fun a -> a.name = name) all
 
 let spec_for mode app =

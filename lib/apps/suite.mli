@@ -26,6 +26,15 @@ val extension_apps : app list
     studies its introduction cites) and an EMA-style medication
     reminder. *)
 
+val security_victim : app
+(** Benign canary-carrying app inspected by the attack oracle. *)
+
+val security_carrier : app
+(** Benign app whose padded [handle_timer] is overwritten by
+    binary-level attack payloads. *)
+
+val security_apps : app list
+
 val all : app list
 
 val find : string -> app

@@ -58,6 +58,7 @@ type t = {
   mutable sw_fault : int option;
   mutable host_call : t -> int -> unit;
   mutable on_event : (Trace.event -> unit) option;
+  mutable on_step : (t -> unit) option;
   mutable extra_cycles : int;
 }
 
@@ -71,6 +72,16 @@ let add_cycles t n = t.extra_cycles <- t.extra_cycles + n
 let regs t = t.cpu.Cpu.regs
 
 let emit t e = match t.on_event with None -> () | Some f -> f e
+
+let add_watch t f =
+  match t.on_event with
+  | None -> t.on_event <- Some f
+  | Some g ->
+    t.on_event <-
+      Some
+        (fun e ->
+          g e;
+          f e)
 
 let pc_of t = Registers.get_pc t.cpu.Cpu.regs
 
@@ -164,6 +175,7 @@ let create () =
       sw_fault = None;
       host_call = (fun _ _ -> ());
       on_event = None;
+      on_step = None;
       extra_cycles = 0;
     }
   in
@@ -186,6 +198,11 @@ let reset t =
   Registers.set_sp (regs t) Memory_map.sram_limit
 
 let step t =
+  (* Pre-instruction hook: the fault injector's entry point.  A plain
+     [None] match when no hook is installed, so simulated cycle counts
+     are identical with and without the facility armed (asserted by
+     the bench suite). *)
+  (match t.on_step with None -> () | Some f -> f t);
   let pc0 = pc_of t in
   let faulted f =
     emit t (Trace.Fault_event (Format.asprintf "%a" pp_fault f));

@@ -50,6 +50,10 @@ type t = {
   mutable sw_fault : int option;
   mutable host_call : t -> int -> unit;
   mutable on_event : (Trace.event -> unit) option;
+  mutable on_step : (t -> unit) option;
+      (** called before each instruction executes — the fault
+          injector's hook.  Host-side only: charges no simulated
+          cycles whether installed or not. *)
   mutable extra_cycles : int;
       (** cycles charged by host services, included in {!cycles} *)
 }
@@ -87,6 +91,12 @@ val step : t -> (Opcode.t, fault) result
 val run : ?fuel:int -> t -> stop_reason
 (** Run until halt, fault, software fault, or [fuel] instructions
     (default 10 million). *)
+
+val add_watch : t -> (Trace.event -> unit) -> unit
+(** Install an event watcher, composing with (running after) any hook
+    already present — the isolation oracle's watchpoint mechanism.
+    Watchers are host-side observers: they charge no cycles and cannot
+    alter the access they observe. *)
 
 val mem_checked_read : t -> Word.width -> int -> int
 (** Read memory the way the CPU would (without MPU checks) — for host

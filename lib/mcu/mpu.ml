@@ -115,6 +115,32 @@ let check t access addr =
 
 let violation_flags t = t.ctl1
 
+type raw_reg = Raw_ctl0 | Raw_ctl1 | Raw_segb1 | Raw_segb2 | Raw_sam
+
+let raw_reg_name = function
+  | Raw_ctl0 -> "MPUCTL0"
+  | Raw_ctl1 -> "MPUCTL1"
+  | Raw_segb1 -> "MPUSEGB1"
+  | Raw_segb2 -> "MPUSEGB2"
+  | Raw_sam -> "MPUSAM"
+
+let raw_get t = function
+  | Raw_ctl0 -> t.ctl0
+  | Raw_ctl1 -> t.ctl1
+  | Raw_segb1 -> t.segb1
+  | Raw_segb2 -> t.segb2
+  | Raw_sam -> t.sam
+
+(* Fault-injection backdoor: models a physical upset of the register
+   cell itself, so it bypasses the password and the lock on purpose. *)
+let raw_set t reg v =
+  match reg with
+  | Raw_ctl0 -> t.ctl0 <- v land 0xFF
+  | Raw_ctl1 -> t.ctl1 <- v land 0xFF
+  | Raw_segb1 -> t.segb1 <- v land 0xFFF
+  | Raw_segb2 -> t.segb2 <- v land 0xFFF
+  | Raw_sam -> t.sam <- v land 0xFFFF
+
 let configure t ~b1 ~b2 ~sam ~enable =
   if not (locked t) then begin
     t.segb1 <- (b1 lsr 4) land 0xFFF;

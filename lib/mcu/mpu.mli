@@ -75,6 +75,18 @@ val check : t -> access -> int -> check_result
 val violation_flags : t -> int
 (** Current MPUCTL1 interrupt-flag bits. *)
 
+(** Raw register cells, for the fault injector: a bit flip in the
+    MPU's own configuration state models the paper's concern that a
+    primitive MPU offers no protection for its own state.  [raw_set]
+    deliberately bypasses the password and the lock — it is a physical
+    upset, not a bus write. *)
+
+type raw_reg = Raw_ctl0 | Raw_ctl1 | Raw_segb1 | Raw_segb2 | Raw_sam
+
+val raw_reg_name : raw_reg -> string
+val raw_get : t -> raw_reg -> int
+val raw_set : t -> raw_reg -> int -> unit
+
 (* Direct configuration helper used by host-side tests and the kernel
    model; performs the same password-checked writes as MMIO. *)
 

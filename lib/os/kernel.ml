@@ -59,9 +59,22 @@ type t = {
   mutable vbase : int;
   mutable dispatches : int;
   mutable current_app : int;
+  os_code_sum : int;
+      (* checksum of the OS code region taken right after boot; the
+         campaign oracle's kernel-integrity reference *)
 }
 
 let handler_fuel = 20_000_000
+
+(* FNV-1a over the OS code bytes: cheap, order-sensitive, and good
+   enough to catch any stray write into the kernel. *)
+let region_checksum machine ~base ~size =
+  let h = ref 0x811C9DC5 in
+  for a = base to base + size - 1 do
+    let b = M.mem_checked_read machine Amulet_mcu.Word.W8 a in
+    h := (!h lxor b) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h
 
 let now_ms t = t.now / Event.cycles_per_ms
 
@@ -177,6 +190,9 @@ let create ?(policy = Disable) ?(scenario = Sensors.Daily_mix) ?seed ?obs fw =
       vbase = 0;
       dispatches = 0;
       current_app = -1;
+      os_code_sum =
+        region_checksum machine ~base:fw.Aft.fw_layout.Amulet_aft.Layout.os_code_base
+          ~size:fw.Aft.fw_layout.Amulet_aft.Layout.os_code_size;
     }
   in
   machine.M.host_call <-
@@ -430,3 +446,39 @@ let state_profile app =
   |> List.sort compare
 let display_line t n = t.api.Api.display.(n land 3)
 let log_contents t = Buffer.contents t.api.Api.log
+
+let os_intact t =
+  region_checksum t.machine
+    ~base:t.fw.Aft.fw_layout.Amulet_aft.Layout.os_code_base
+    ~size:t.fw.Aft.fw_layout.Amulet_aft.Layout.os_code_size
+  = t.os_code_sum
+
+(* Post-fault kernel-liveness probe: deliver one Button event to the
+   app and confirm the kernel can still dispatch it cleanly.  Other
+   queued events may be delivered on the way; the probe caps the
+   number of dispatches so a runaway queue cannot hang it. *)
+let liveness_probe ?(max_dispatches = 64) t ~app =
+  if app < 0 || app >= Array.length t.apps then false
+  else begin
+    post t ~delay_ms:0 ~app (Event.Button 1) ~arg:1;
+    let rec go budget =
+      if budget = 0 then false
+      else
+        match dispatch_next t with
+        | None -> false
+        | Some r ->
+          if r.dr_app = app && r.dr_kind = Event.Button 1 then (
+            match r.dr_outcome with
+            | Ok | No_handler -> t.apps.(app).enabled
+            | App_fault _ -> false)
+          else go (budget - 1)
+    in
+    go max_dispatches
+  end
+
+let unrecovered_faults t =
+  Array.to_list t.apps
+  |> List.filter_map (fun a ->
+         if (not a.enabled) && a.fault_count > 0 then
+           Some (a.build.Aft.ab_name, Option.value ~default:"" a.last_fault)
+         else None)

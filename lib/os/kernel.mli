@@ -79,6 +79,9 @@ type t = {
           records emitted mid-dispatch land on the virtual timeline *)
   mutable dispatches : int;
   mutable current_app : int;
+  os_code_sum : int;
+      (** checksum of the OS code region taken right after boot; the
+          attack campaign's kernel-integrity reference *)
 }
 
 val create :
@@ -123,3 +126,21 @@ val state_profile : app_state -> ((int * string) * handler_stats) list
 
 val display_line : t -> int -> string
 val log_contents : t -> string
+
+(* Post-incident oracles used by the attack campaign (lib/sec). *)
+
+val os_intact : t -> bool
+(** Recompute the OS code region checksum and compare it with the
+    value captured at boot — [false] means some attack (or injected
+    fault) corrupted kernel code. *)
+
+val liveness_probe : ?max_dispatches:int -> t -> app:int -> bool
+(** Post a [Button] event to [app] and dispatch until it is delivered
+    (bounded by [max_dispatches], default 64).  [true] when the kernel
+    delivered it and the app survived — the campaign's
+    "kernel still live / victim still schedulable" check. *)
+
+val unrecovered_faults : t -> (string * string) list
+(** Apps left disabled by a fault under the [Disable] policy (or after
+    exhausting [Restart]): [(app name, last fault message)].  Drives
+    {b amulet_sim}'s failure exit code. *)

@@ -1,0 +1,583 @@
+module M = Amulet_mcu.Machine
+module R = Amulet_mcu.Registers
+module Mpu = Amulet_mcu.Mpu
+module Map = Amulet_mcu.Memory_map
+module Trace = Amulet_mcu.Trace
+module Word = Amulet_mcu.Word
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Layout = Amulet_aft.Layout
+module Image = Amulet_link.Image
+module Kernel = Amulet_os.Kernel
+module Event = Amulet_os.Event
+module Lint = Amulet_analysis.Lint
+module Verifier = Amulet_analysis.Verifier
+module Obs = Amulet_obs.Obs
+
+type observed =
+  | O_build_rejected
+  | O_guard of int
+  | O_hw_fault
+  | O_gate_rejected
+  | O_kernel
+  | O_breach
+  | O_leak
+  | O_silent
+
+let observed_name = function
+  | O_build_rejected -> "build-rej"
+  | O_guard c -> Printf.sprintf "guard(%d)" c
+  | O_hw_fault -> "hw-fault"
+  | O_gate_rejected -> "gate-rej"
+  | O_kernel -> "kernel"
+  | O_breach -> "BREACH"
+  | O_leak -> "leak"
+  | O_silent -> "silent"
+
+type cell = {
+  cl_attack : string;
+  cl_mode : Iso.mode;
+  cl_expected : Attacks.layer;
+  cl_observed : observed;
+  cl_match : bool;
+  cl_oracle_ok : bool;
+  cl_breaches : string list;
+  cl_breach_count : int;
+  cl_canary_intact : bool;
+  cl_os_intact : bool;
+  cl_victim_alive : bool;
+  cl_lint_rejected : bool option;
+  cl_lint_ok : bool;
+  cl_note : string;
+}
+
+type injection = {
+  in_mode : Iso.mode;
+  in_target : string;
+  in_flips : int;
+  in_log : string list;
+  in_faults : (string * string) list;
+  in_canary_intact : bool;
+  in_os_intact : bool;
+  in_deterministic : bool;
+}
+
+type summary = {
+  s_cells : cell list;
+  s_injections : injection list;
+  s_mismatches : int;
+  s_oracle_failures : int;
+  s_lint_failures : int;
+  s_nondeterministic : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The isolation oracle                                                *)
+
+type oracle = {
+  mutable breaches : string list; (* reversed, capped at [breach_cap] *)
+  mutable breach_count : int;
+  mutable prev_in_app : bool;
+}
+
+let breach_cap = 8
+
+(* Entries control may legitimately reach when leaving app code: the
+   API gates, the sanctioned runtime helpers, and the OS return path.
+   Everything else — OS internals, another app's code — is a breach. *)
+let sanctioned_entries image ~in_app_code =
+  List.filter_map
+    (fun (name, addr) ->
+      if in_app_code addr then None
+      else if
+        String.length name > 7 && String.sub name 0 7 = "__gate_"
+        || List.mem name Verifier.helper_names
+        || name = "__osreturn"
+      then Some addr
+      else None)
+    image.Image.symbols
+
+let install_oracle k ~attacker_idx ~image =
+  let m = k.Kernel.machine in
+  let lay = k.Kernel.apps.(attacker_idx).Kernel.build.Aft.ab_layout in
+  let code_lo = lay.Layout.code_base in
+  let code_hi = code_lo + lay.Layout.code_size in
+  let data_lo = lay.Layout.data_base and data_hi = lay.Layout.data_limit in
+  let shared = not (Iso.separate_stacks k.Kernel.fw.Aft.fw_mode) in
+  let in_app_code a = a >= code_lo && a < code_hi in
+  let ok_data a =
+    (a >= data_lo && a < data_hi)
+    || (shared && a >= Map.sram_start && a < Map.sram_limit)
+  in
+  let sanctioned = sanctioned_entries image ~in_app_code in
+  let o = { breaches = []; breach_count = 0; prev_in_app = false } in
+  let note fmt =
+    Printf.ksprintf
+      (fun msg ->
+        if o.breach_count < breach_cap then o.breaches <- msg :: o.breaches;
+        o.breach_count <- o.breach_count + 1)
+      fmt
+  in
+  M.add_watch m (fun ev ->
+      if k.Kernel.current_app = attacker_idx then
+        match ev with
+        | Trace.Mem_write { addr; pc; value; _ }
+          when in_app_code pc && not (ok_data addr) ->
+          note "write %04X<-%04X from pc=%04X" addr value pc
+        | Trace.Mem_read { addr; pc; _ }
+          when in_app_code pc && not (ok_data addr || in_app_code addr) ->
+          note "read %04X from pc=%04X" addr pc
+        | Trace.Exec { pc; _ } ->
+          let now_in = in_app_code pc in
+          if o.prev_in_app && (not now_in) && not (List.mem pc sanctioned)
+          then note "exec %04X (unsanctioned exit from app code)" pc;
+          o.prev_in_app <- now_in
+        | Trace.Io_write { addr; _ } when Mpu.handles addr ->
+          (* Io_write carries no pc: consult the machine registers —
+             mid-instruction the PC already points past the store, but
+             still inside (or just after) the offending code span. *)
+          let pc = R.get_pc (M.regs m) in
+          if in_app_code pc then
+            note "MPU register %04X written from app code (pc~%04X)" addr pc
+        | _ -> ());
+  o
+
+(* ------------------------------------------------------------------ *)
+(* One campaign cell                                                   *)
+
+let canary_words = 8
+let canary_value = 49374 (* 0xC0DE, see Sec_sources.victim *)
+
+let canary_intact m ~addr =
+  let ok = ref true in
+  for i = 0 to canary_words - 1 do
+    if M.mem_checked_read m Word.W16 (addr + (2 * i)) <> canary_value then
+      ok := false
+  done;
+  !ok
+
+let app_index fw name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | b :: _ when b.Aft.ab_name = name -> i
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 fw.Aft.fw_apps
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let matches expected observed =
+  match (expected, observed) with
+  | Attacks.L_build, O_build_rejected -> true
+  | Attacks.L_guard, O_guard _ -> true
+  | Attacks.L_mpu, O_hw_fault -> true
+  | Attacks.L_gate, O_gate_rejected -> true
+  | Attacks.L_kernel, O_kernel -> true
+  | Attacks.L_none, O_breach -> true
+  | Attacks.L_harmless, (O_leak | O_silent) -> true
+  | _ -> false
+
+let lint_rejects report = report.Lint.l_errors > 0
+
+let run_cell ~attack ~mode ~seed =
+  let expected = attack.Attacks.atk_expect mode in
+  let finish ?(lint = None) ?(note = "") ~observed ~breaches ~breach_count
+      ~canary ~os ~alive () =
+    let oracle_ok =
+      match expected with
+      | Attacks.L_build | Attacks.L_guard | Attacks.L_mpu | Attacks.L_gate
+      | Attacks.L_kernel ->
+        breach_count = 0 && canary && os && alive
+      | Attacks.L_harmless -> breach_count = 0 && os && alive
+      | Attacks.L_none -> true
+    in
+    let lint_ok =
+      match (attack.Attacks.atk_lint mode, lint) with
+      | _, None -> true
+      | Attacks.Must_reject, Some r -> r
+      | Attacks.Must_accept, Some r -> not r
+      | Attacks.Either, Some _ -> true
+    in
+    {
+      cl_attack = attack.Attacks.atk_name;
+      cl_mode = mode;
+      cl_expected = expected;
+      cl_observed = observed;
+      cl_match = matches expected observed;
+      cl_oracle_ok = oracle_ok;
+      cl_breaches = List.rev breaches;
+      cl_breach_count = breach_count;
+      cl_canary_intact = canary;
+      cl_os_intact = os;
+      cl_victim_alive = alive;
+      cl_lint_rejected = lint;
+      cl_lint_ok = lint_ok;
+      cl_note = note;
+    }
+  in
+  match Attacks.build_cell ~attack ~mode with
+  | Attacks.Rejected msg ->
+    finish ~observed:O_build_rejected ~breaches:[] ~breach_count:0
+      ~canary:true ~os:true ~alive:true ~note:msg ()
+  | Attacks.Built { fw; attacker; victim; targets } ->
+    let image = fw.Aft.fw_image in
+    let lint =
+      Some (lint_rejects (Lint.run ~image ~mode ~apps:[ attacker ]))
+    in
+    let k = Kernel.create ~policy:Kernel.Disable ~seed fw in
+    let ai = app_index fw attacker and vi = app_index fw victim in
+    let oracle = install_oracle k ~attacker_idx:ai ~image in
+    let records = Kernel.run_for_ms k 60 in
+    let attack_record =
+      List.find_opt
+        (fun (r : Kernel.dispatch_record) ->
+          r.Kernel.dr_app = ai
+          &&
+          match r.Kernel.dr_kind with
+          | Event.Timer_fired _ -> true
+          | _ -> false)
+        records
+    in
+    let m = k.Kernel.machine in
+    let canary = canary_intact m ~addr:targets.Attacks.t_victim_canary in
+    let os = Kernel.os_intact k in
+    let alive = Kernel.liveness_probe k ~app:vi in
+    let target_hit =
+      match attack.Attacks.atk_target targets with
+      | None -> false
+      | Some a -> M.mem_checked_read m Word.W16 a = Attacks.attack_value
+    in
+    let breach = oracle.breach_count > 0 || (not canary) || not os in
+    let gate_rejected =
+      match k.Kernel.apps.(ai).Kernel.last_fault with
+      | Some msg -> contains ~sub:"rejected by" msg
+      | None -> false
+    in
+    let observed, note =
+      match attack_record with
+      | None -> (O_silent, "attack handler never dispatched")
+      | Some r ->
+        if breach then (O_breach, "")
+        else (
+          match r.Kernel.dr_outcome with
+          | Kernel.App_fault msg
+            when starts_with ~prefix:"software check fault " msg -> (
+            match
+              int_of_string_opt
+                (String.sub msg 21 (String.length msg - 21))
+            with
+            | Some c -> (O_guard c, "")
+            | None -> (O_guard (-1), msg))
+          | Kernel.App_fault msg when contains ~sub:"MPU" msg ->
+            (O_hw_fault, msg)
+          | Kernel.App_fault msg -> (O_kernel, msg)
+          | Kernel.Ok | Kernel.No_handler ->
+            if gate_rejected then
+              ( O_gate_rejected,
+                Option.value ~default:"" k.Kernel.apps.(ai).Kernel.last_fault
+              )
+            else if target_hit then (O_leak, "write landed in permitted memory")
+            else (O_silent, ""))
+    in
+    finish ~lint ~observed ~breaches:oracle.breaches
+      ~breach_count:oracle.breach_count ~canary ~os ~alive ~note ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection rows                                                *)
+
+let injection_flips = 8
+(* The benign pair executes a few thousand instructions over the run's
+   500 virtual ms; spreading flips over the first 4000 keeps them
+   inside the executed prefix while still straddling many dispatches. *)
+let injection_window = (100, 4_000)
+
+let injection_once ~mode ~target ~seed =
+  let fw =
+    Aft.build ~mode
+      [
+        Amulet_apps.Suite.spec_for mode Amulet_apps.Suite.security_victim;
+        Amulet_apps.Suite.spec_for mode Amulet_apps.Suite.security_carrier;
+      ]
+  in
+  let canary_addr =
+    Image.symbol fw.Aft.fw_image (Iso.mangle ~prefix:"victim" "canary")
+  in
+  let inj_target =
+    match target with
+    | `Regs -> Inject.Regs
+    | `Mpu -> Inject.Mpu_config
+    | `Fram ->
+      let lay = (Aft.find_app fw "victim").Aft.ab_layout in
+      Inject.Fram { lo = lay.Layout.data_base; hi = lay.Layout.data_limit }
+  in
+  let k = Kernel.create ~policy:Kernel.Disable ~seed fw in
+  let plan =
+    Inject.plan ~seed ~flips:injection_flips ~window:injection_window
+      inj_target
+  in
+  let inj = Inject.arm plan k.Kernel.machine in
+  ignore (Kernel.run_for_ms k 500);
+  let faults = Kernel.unrecovered_faults k in
+  ( Inject.log inj,
+    Inject.flips_done inj,
+    faults,
+    canary_intact k.Kernel.machine ~addr:canary_addr,
+    Kernel.os_intact k )
+
+let run_injection ~mode ~target ~seed =
+  let log1, flips, faults1, canary1, os1 =
+    injection_once ~mode ~target ~seed
+  in
+  let log2, _, faults2, canary2, os2 = injection_once ~mode ~target ~seed in
+  {
+    in_mode = mode;
+    in_target =
+      (match target with `Regs -> "regs" | `Fram -> "fram" | `Mpu -> "mpu");
+    in_flips = flips;
+    in_log = log1;
+    in_faults = faults1;
+    in_canary_intact = canary1;
+    in_os_intact = os1;
+    in_deterministic =
+      log1 = log2 && faults1 = faults2 && canary1 = canary2 && os1 = os2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver                                                     *)
+
+let quick_names =
+  [
+    "src_wild_write_os";
+    "src_wild_write_victim";
+    "src_stack_smash";
+    "src_gate_deputy_write";
+    "src_probe_slack";
+    "bin_wild_write_os";
+    "bin_mpu_disable";
+    "bin_jump_victim_code";
+  ]
+
+(* Round-robin the work items over [jobs] domains; cells are
+   independent (each builds its own firmware and machine), and none of
+   the toolchain libraries keeps module-level mutable state. *)
+let parallel_map ~jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.to_list (Array.map f items)
+  else begin
+    let results = Array.make n None in
+    let workers =
+      List.init jobs (fun w ->
+          Domain.spawn (fun () ->
+              let acc = ref [] in
+              let i = ref w in
+              while !i < n do
+                acc := (!i, f items.(!i)) :: !acc;
+                i := !i + jobs
+              done;
+              !acc))
+    in
+    List.iter
+      (fun d ->
+        List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
+      workers;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
+    =
+  let jobs = if jobs > 0 then jobs else min 8 (Domain.recommended_domain_count ()) in
+  let attacks =
+    Attacks.corpus
+    |> List.filter (fun (a : Attacks.t) ->
+           (not quick) || List.mem a.Attacks.atk_name quick_names)
+    |> List.filter (fun (a : Attacks.t) ->
+           only = [] || List.mem a.Attacks.atk_name only)
+  in
+  let cells =
+    List.concat_map
+      (fun a -> List.map (fun m -> (a, m)) modes)
+      attacks
+  in
+  let s_cells =
+    parallel_map ~jobs
+      (fun (attack, mode) -> run_cell ~attack ~mode ~seed)
+      cells
+  in
+  let s_injections =
+    if quick then []
+    else
+      parallel_map ~jobs
+        (fun (mode, target) -> run_injection ~mode ~target ~seed)
+        (List.concat_map
+           (fun m -> [ (m, `Regs); (m, `Fram); (m, `Mpu) ])
+           modes)
+  in
+  {
+    s_cells;
+    s_injections;
+    s_mismatches =
+      List.length (List.filter (fun c -> not c.cl_match) s_cells);
+    s_oracle_failures =
+      List.length (List.filter (fun c -> not c.cl_oracle_ok) s_cells);
+    s_lint_failures =
+      List.length (List.filter (fun c -> not c.cl_lint_ok) s_cells);
+    s_nondeterministic =
+      List.length
+        (List.filter (fun i -> not i.in_deterministic) s_injections);
+  }
+
+let ok s =
+  s.s_mismatches = 0 && s.s_oracle_failures = 0 && s.s_lint_failures = 0
+  && s.s_nondeterministic = 0
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let emit_jsonl s oc =
+  let sink = Obs.jsonl_sink oc in
+  List.iteri
+    (fun i c ->
+      sink.Obs.output
+        (Obs.Instant
+           {
+             name = c.cl_attack;
+             cat = "campaign";
+             ts = i;
+             tid = 0;
+             args =
+               [
+                 ("mode", Obs.Vstr (Iso.name c.cl_mode));
+                 ("expected", Obs.Vstr (Attacks.layer_name c.cl_expected));
+                 ("observed", Obs.Vstr (observed_name c.cl_observed));
+                 ("match", Obs.Vint (if c.cl_match then 1 else 0));
+                 ("oracle_ok", Obs.Vint (if c.cl_oracle_ok then 1 else 0));
+                 ("breaches", Obs.Vint c.cl_breach_count);
+                 ("canary_intact", Obs.Vint (if c.cl_canary_intact then 1 else 0));
+                 ("os_intact", Obs.Vint (if c.cl_os_intact then 1 else 0));
+                 ("victim_alive", Obs.Vint (if c.cl_victim_alive then 1 else 0));
+                 ( "lint",
+                   Obs.Vstr
+                     (match c.cl_lint_rejected with
+                     | None -> "n/a"
+                     | Some true -> "rejected"
+                     | Some false -> "accepted") );
+                 ("lint_ok", Obs.Vint (if c.cl_lint_ok then 1 else 0));
+                 ("note", Obs.Vstr c.cl_note);
+               ];
+           }))
+    s.s_cells;
+  List.iteri
+    (fun i inj ->
+      sink.Obs.output
+        (Obs.Instant
+           {
+             name = "inject_" ^ inj.in_target;
+             cat = "injection";
+             ts = i;
+             tid = 1;
+             args =
+               [
+                 ("mode", Obs.Vstr (Iso.name inj.in_mode));
+                 ("flips", Obs.Vint inj.in_flips);
+                 ("faults", Obs.Vint (List.length inj.in_faults));
+                 ("canary_intact", Obs.Vint (if inj.in_canary_intact then 1 else 0));
+                 ("os_intact", Obs.Vint (if inj.in_os_intact then 1 else 0));
+                 ( "deterministic",
+                   Obs.Vint (if inj.in_deterministic then 1 else 0) );
+                 ("log", Obs.Vstr (String.concat "; " inj.in_log));
+               ];
+           }))
+    s.s_injections;
+  sink.Obs.close ()
+
+let pp_matrix ppf s =
+  let attacks =
+    List.sort_uniq compare (List.map (fun c -> c.cl_attack) s.s_cells)
+  in
+  (* preserve corpus order *)
+  let attacks =
+    List.filter
+      (fun (a : Attacks.t) -> List.mem a.Attacks.atk_name attacks)
+      Attacks.corpus
+    |> List.map (fun (a : Attacks.t) -> a.Attacks.atk_name)
+  in
+  let modes =
+    List.filter
+      (fun m -> List.exists (fun c -> c.cl_mode = m) s.s_cells)
+      Iso.all
+  in
+  let cell name mode =
+    List.find_opt
+      (fun c -> c.cl_attack = name && c.cl_mode = mode)
+      s.s_cells
+  in
+  Format.fprintf ppf "%-24s" "attack";
+  List.iter (fun m -> Format.fprintf ppf " %-14s" (Iso.name m)) modes;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun name ->
+      Format.fprintf ppf "%-24s" name;
+      List.iter
+        (fun m ->
+          match cell name m with
+          | None -> Format.fprintf ppf " %-14s" "-"
+          | Some c ->
+            let mark =
+              if c.cl_match && c.cl_oracle_ok && c.cl_lint_ok then ' '
+              else '!'
+            in
+            Format.fprintf ppf " %c%-13s" mark (observed_name c.cl_observed))
+        modes;
+      Format.fprintf ppf "@.")
+    attacks;
+  if s.s_injections <> [] then begin
+    Format.fprintf ppf "@.fault injection (seeded, informational):@.";
+    List.iter
+      (fun i ->
+        Format.fprintf ppf
+          "  %-10s %-5s %d flips, %d app faults, canary %s, OS %s%s@."
+          (Iso.name i.in_mode) i.in_target i.in_flips
+          (List.length i.in_faults)
+          (if i.in_canary_intact then "intact" else "CORRUPTED")
+          (if i.in_os_intact then "intact" else "CORRUPTED")
+          (if i.in_deterministic then "" else "  NON-DETERMINISTIC"))
+      s.s_injections
+  end;
+  List.iter
+    (fun c ->
+      if not (c.cl_match && c.cl_oracle_ok && c.cl_lint_ok) then begin
+        Format.fprintf ppf "@.FAIL %s under %s: expected %s, observed %s@."
+          c.cl_attack (Iso.name c.cl_mode)
+          (Attacks.layer_name c.cl_expected)
+          (observed_name c.cl_observed);
+        if not c.cl_oracle_ok then
+          Format.fprintf ppf
+            "  oracle: %d breaches, canary %b, os %b, victim alive %b@."
+            c.cl_breach_count c.cl_canary_intact c.cl_os_intact
+            c.cl_victim_alive;
+        List.iter (fun b -> Format.fprintf ppf "    %s@." b) c.cl_breaches;
+        if not c.cl_lint_ok then
+          Format.fprintf ppf "  lint: %s@."
+            (match c.cl_lint_rejected with
+            | Some true -> "rejected (expected accepted)"
+            | Some false -> "accepted (expected rejected)"
+            | None -> "n/a");
+        if c.cl_note <> "" then Format.fprintf ppf "  note: %s@." c.cl_note
+      end)
+    s.s_cells;
+  Format.fprintf ppf
+    "@.%d cells: %d mismatches, %d oracle failures, %d lint failures; %d \
+     injection rows (%d non-deterministic)@."
+    (List.length s.s_cells) s.s_mismatches s.s_oracle_failures
+    s.s_lint_failures
+    (List.length s.s_injections)
+    s.s_nondeterministic

@@ -1,0 +1,114 @@
+(** Campaign driver: every attack in {!Attacks.corpus} crossed with
+    all four isolation modes, each cell run under a per-run isolation
+    oracle, in parallel OCaml domains.
+
+    The oracle watches the machine's event stream while the attacker
+    is the current app and records breaches the moment they happen:
+
+    - a write landing outside the attacker's data segment (and outside
+      the shared SRAM stack in the shared-stack modes),
+    - a read returned from foreign memory,
+    - control leaving the attacker's code section for anything but a
+      sanctioned entry (API gates, runtime helpers, [__osreturn]),
+    - a store reaching the MPU's configuration registers from app
+      code.
+
+    After the run it additionally checks the victim's canary, the OS
+    code checksum ({!Amulet_os.Kernel.os_intact}), and that the
+    kernel can still dispatch to the victim
+    ({!Amulet_os.Kernel.liveness_probe}). *)
+
+(** What the cell actually did, classified from the oracle record and
+    the attacker's dispatch outcome. *)
+type observed =
+  | O_build_rejected
+  | O_guard of int  (** software check fault, reason code *)
+  | O_hw_fault  (** MPU violation *)
+  | O_gate_rejected  (** kernel pointer validation refused the arg *)
+  | O_kernel  (** unmapped access / runaway contained by the machine *)
+  | O_breach  (** oracle recorded an isolation breach *)
+  | O_leak  (** no breach, but the write landed in over-permitted
+                memory (slack bytes, shared stack) *)
+  | O_silent  (** nothing observable happened *)
+
+val observed_name : observed -> string
+
+type cell = {
+  cl_attack : string;
+  cl_mode : Amulet_cc.Isolation.mode;
+  cl_expected : Attacks.layer;
+  cl_observed : observed;
+  cl_match : bool;  (** observed is what the expectation table says *)
+  cl_oracle_ok : bool;
+      (** hard isolation invariants hold for this cell's expectation
+          class (no breach when containment is promised) *)
+  cl_breaches : string list;  (** first few oracle breach records *)
+  cl_breach_count : int;
+  cl_canary_intact : bool;
+  cl_os_intact : bool;
+  cl_victim_alive : bool;
+  cl_lint_rejected : bool option;
+      (** static certifier verdict ([None] when the cell never built) *)
+  cl_lint_ok : bool;
+  cl_note : string;
+}
+
+(** One fault-injection run (informational rows of the campaign). *)
+type injection = {
+  in_mode : Amulet_cc.Isolation.mode;
+  in_target : string;
+  in_flips : int;
+  in_log : string list;
+  in_faults : (string * string) list;  (** disabled app, fault text *)
+  in_canary_intact : bool;
+  in_os_intact : bool;
+  in_deterministic : bool;
+      (** an identical re-run with the same seed reproduced the same
+          flips, faults and memory outcome *)
+}
+
+type summary = {
+  s_cells : cell list;
+  s_injections : injection list;
+  s_mismatches : int;
+  s_oracle_failures : int;
+  s_lint_failures : int;
+  s_nondeterministic : int;
+}
+
+val run_cell :
+  attack:Attacks.t -> mode:Amulet_cc.Isolation.mode -> seed:int -> cell
+
+val run_injection :
+  mode:Amulet_cc.Isolation.mode ->
+  target:[ `Regs | `Fram | `Mpu ] ->
+  seed:int ->
+  injection
+(** Run the benign victim+carrier pair with seeded bit flips aimed at
+    the register file, the victim's FRAM data segment, or the MPU
+    configuration — twice, asserting the outcome reproduces. *)
+
+val quick_names : string list
+(** The CI smoke subset: one attack per defence class. *)
+
+val run :
+  ?quick:bool ->
+  ?jobs:int ->
+  ?only:string list ->
+  ?modes:Amulet_cc.Isolation.mode list ->
+  seed:int ->
+  unit ->
+  summary
+(** Run the (filtered) matrix in parallel domains.  [jobs] defaults to
+    the domain count the runtime recommends; [only] filters attacks by
+    name; [quick] restricts to {!quick_names} and skips the injection
+    rows. *)
+
+val ok : summary -> bool
+
+val emit_jsonl : summary -> out_channel -> unit
+(** One {!Amulet_obs.Obs} record per cell/injection, through a JSONL
+    sink. *)
+
+val pp_matrix : Format.formatter -> summary -> unit
+(** Console expected-vs-observed matrix plus totals. *)

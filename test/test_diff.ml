@@ -154,6 +154,41 @@ let reference_result p =
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
+(* Every property draws from a per-test RNG seeded from [master_seed],
+   so a failure reproduces exactly by re-running with the printed
+   [QCHECK_SEED] — independent of how many cases other tests drew. *)
+let master_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+    try int_of_string s
+    with _ -> failwith ("QCHECK_SEED is not an integer: " ^ s))
+  | None -> 0x5EED
+
+let fresh_rand () = Random.State.make [| master_seed |]
+
+(* Wrap a property so a failing case prints the reproducing seed and
+   the generated source to stderr — alcotest swallows qcheck's own
+   counterexample output unless run verbose. *)
+let reporting name prop p =
+  let dump ~reason =
+    Printf.eprintf
+      "\n\
+       [test_diff] %s: %s\n\
+       [test_diff] reproduce with: QCHECK_SEED=%d dune exec \
+       test/test_diff.exe\n\
+       [test_diff] generated program:\n\
+       %s%!"
+      name reason master_seed (to_source p)
+  in
+  match prop p with
+  | true -> true
+  | false ->
+    dump ~reason:"property is false";
+    false
+  | exception e ->
+    dump ~reason:("raised " ^ Printexc.to_string e);
+    raise e
+
 let run_mode mode src =
   let r = H.run ~mode src in
   match r.H.stop with
@@ -168,9 +203,14 @@ let diff_property mode =
       Printf.sprintf "%s\n(* reference: %d *)" (to_source p)
         (reference_result p))
     gen_program
-    (fun p ->
-      let src = to_source p in
-      run_mode mode src = reference_result p)
+    (reporting
+       ("compiled = reference (" ^ Iso.name mode ^ ")")
+       (fun p ->
+         let src = to_source p in
+         let got = run_mode mode src and want = reference_result p in
+         if got <> want then
+           Printf.eprintf "[test_diff] compiled %d, reference %d\n%!" got want;
+         got = want))
 
 (* Every random program's binary must also pass both independent
    static checkers — the SFI verifier and the CFI reconstruction.  The
@@ -181,35 +221,38 @@ let static_certification mode =
   QCheck2.Test.make ~count:60
     ~name:("SFI and CFI accept (" ^ Iso.name mode ^ ")")
     ~print:to_source gen_program
-    (fun p ->
-      let _cu, image = H.build ~mode (to_source p) in
-      let sfi_ok =
-        match An.Verifier.verify_app ~image ~mode ~prefix:"prog" with
-        | Ok _ -> true
-        | Error _ -> false
-      in
-      let cfi_ok =
-        match An.Cfi.reconstruct ~image ~mode ~prefix:"prog" with
-        | Ok _ -> true
-        | Error _ -> false
-      in
-      sfi_ok && cfi_ok)
+    (reporting
+       ("SFI and CFI accept (" ^ Iso.name mode ^ ")")
+       (fun p ->
+         let _cu, image = H.build ~mode (to_source p) in
+         let sfi_ok =
+           match An.Verifier.verify_app ~image ~mode ~prefix:"prog" with
+           | Ok _ -> true
+           | Error _ -> false
+         in
+         let cfi_ok =
+           match An.Cfi.reconstruct ~image ~mode ~prefix:"prog" with
+           | Ok _ -> true
+           | Error _ -> false
+         in
+         sfi_ok && cfi_ok))
 
 (* All modes agree with each other on the same program (a weaker but
    broader check run on fewer cases). *)
 let mode_agreement =
   QCheck2.Test.make ~count:40 ~name:"all isolation modes agree"
     ~print:to_source gen_program
-    (fun p ->
-      let src = to_source p in
-      let reference = run_mode Iso.No_isolation src in
-      List.for_all (fun mode -> run_mode mode src = reference) Iso.all)
+    (reporting "all isolation modes agree" (fun p ->
+         let src = to_source p in
+         let reference = run_mode Iso.No_isolation src in
+         List.for_all (fun mode -> run_mode mode src = reference) Iso.all))
 
 let () =
+  let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(fresh_rand ()) t in
   Alcotest.run "diff"
     [
       ( "reference-vs-simulator",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [
             diff_property Iso.No_isolation;
             diff_property Iso.Mpu_assisted;
@@ -218,7 +261,7 @@ let () =
             mode_agreement;
           ] );
       ( "static-certification",
-        List.map QCheck_alcotest.to_alcotest
+        List.map to_alcotest
           [
             static_certification Iso.Mpu_assisted;
             static_certification Iso.Software_only;

@@ -1,0 +1,259 @@
+(* Security subsystem tests: MPU granularity slack, oracle behaviour,
+   injector determinism, and the kernel integrity probes the campaign
+   relies on. *)
+
+module Iso = Amulet_cc.Isolation
+module Aft = Amulet_aft.Aft
+module Layout = Amulet_aft.Layout
+module Kernel = Amulet_os.Kernel
+module Attacks = Amulet_sec.Attacks
+module Campaign = Amulet_sec.Campaign
+module Inject = Amulet_sec.Inject
+
+let seed = 1234
+
+let build_exn ~attack ~mode =
+  match Attacks.build_cell ~attack ~mode with
+  | Attacks.Built { fw; attacker; targets; _ } -> (fw, attacker, targets)
+  | Attacks.Rejected msg ->
+    Alcotest.failf "%s rejected under %s: %s" attack.Attacks.atk_name
+      (Iso.name mode) msg
+
+(* ------------------------------------------------------------------ *)
+(* MPU 1 KiB granularity: the slack bytes of a granule-rounded data
+   segment are writable even though the app never declared them. *)
+
+let test_slack_geometry () =
+  let attack = Attacks.find "src_probe_slack" in
+  let fw, attacker, targets = build_exn ~attack ~mode:Iso.Mpu_assisted in
+  let lay = (Aft.find_app fw attacker).Aft.ab_layout in
+  let tgt = targets.Attacks.t_self_slack in
+  Alcotest.(check bool) "data region is granule-rounded" true
+    ((lay.Layout.data_limit - lay.Layout.data_base) mod 0x400 = 0);
+  Alcotest.(check bool) "attacker declares globals" true
+    (lay.Layout.globals_size > 0);
+  Alcotest.(check bool) "target is above the declared globals" true
+    (tgt >= lay.Layout.data_base + lay.Layout.globals_size);
+  Alcotest.(check bool) "target is below the segment limit" true
+    (tgt < lay.Layout.data_limit)
+
+let test_mpu_slack_leak () =
+  (* The write lands: no fault, no breach — the documented granularity
+     over-permission.  Contrast with test_mpu_probe_below. *)
+  List.iter
+    (fun name ->
+      let cell =
+        Campaign.run_cell ~attack:(Attacks.find name) ~mode:Iso.Mpu_assisted
+          ~seed
+      in
+      Alcotest.(check bool)
+        (name ^ " slack write is tolerated") true cell.Campaign.cl_match;
+      Alcotest.(check int)
+        (name ^ " no oracle breach") 0 cell.Campaign.cl_breach_count;
+      Alcotest.(check bool)
+        (name ^ " victim canary intact") true cell.Campaign.cl_canary_intact;
+      match cell.Campaign.cl_observed with
+      | Campaign.O_leak | Campaign.O_silent -> ()
+      | o ->
+        Alcotest.failf "%s: expected leak/silent, observed %s" name
+          (Campaign.observed_name o))
+    [ "src_probe_slack"; "bin_probe_slack" ]
+
+let test_mpu_probe_below () =
+  (* Two bytes below the segment base is outside the granule: the MPU
+     faults the very store that the slack probe got away with. *)
+  let cell =
+    Campaign.run_cell
+      ~attack:(Attacks.find "bin_probe_below")
+      ~mode:Iso.Mpu_assisted ~seed
+  in
+  Alcotest.(check bool) "below-base store matches" true cell.Campaign.cl_match;
+  (match cell.Campaign.cl_observed with
+  | Campaign.O_hw_fault -> ()
+  | o ->
+    Alcotest.failf "expected hw-fault below base, observed %s"
+      (Campaign.observed_name o));
+  Alcotest.(check bool) "oracle holds" true cell.Campaign.cl_oracle_ok
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: catches a real cross-app breach, stays quiet on a contained
+   one. *)
+
+let test_oracle_breach_detection () =
+  let cell =
+    Campaign.run_cell
+      ~attack:(Attacks.find "bin_wild_write_victim")
+      ~mode:Iso.Software_only ~seed
+  in
+  Alcotest.(check bool) "binary attack defeats software-only" true
+    cell.Campaign.cl_match;
+  Alcotest.(check bool) "oracle recorded the breach" true
+    (cell.Campaign.cl_breach_count > 0);
+  Alcotest.(check bool) "victim canary was clobbered" false
+    cell.Campaign.cl_canary_intact
+
+let test_oracle_contained () =
+  let cell =
+    Campaign.run_cell
+      ~attack:(Attacks.find "src_wild_write_victim")
+      ~mode:Iso.Mpu_assisted ~seed
+  in
+  Alcotest.(check bool) "MPU contains the wild write" true
+    cell.Campaign.cl_match;
+  Alcotest.(check int) "no breach recorded" 0 cell.Campaign.cl_breach_count;
+  Alcotest.(check bool) "canary intact" true cell.Campaign.cl_canary_intact;
+  Alcotest.(check bool) "victim still schedulable" true
+    cell.Campaign.cl_victim_alive
+
+(* ------------------------------------------------------------------ *)
+(* Quick corpus smoke: the CI subset matches expectations under the
+   two extreme modes. *)
+
+let test_quick_corpus () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun mode ->
+          let cell =
+            Campaign.run_cell ~attack:(Attacks.find name) ~mode ~seed
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s matches" name (Iso.name mode))
+            true cell.Campaign.cl_match;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s oracle ok" name (Iso.name mode))
+            true cell.Campaign.cl_oracle_ok;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s under %s lint ok" name (Iso.name mode))
+            true cell.Campaign.cl_lint_ok)
+        [ Iso.No_isolation; Iso.Mpu_assisted ])
+    Campaign.quick_names
+
+(* ------------------------------------------------------------------ *)
+(* Injector: seeded schedules reproduce exactly. *)
+
+let test_injector_determinism () =
+  let inj =
+    Campaign.run_injection ~mode:Iso.Mpu_assisted ~target:`Regs ~seed:5
+  in
+  Alcotest.(check bool) "flips were applied" true (inj.Campaign.in_flips > 0);
+  Alcotest.(check bool) "identical re-run reproduces" true
+    inj.Campaign.in_deterministic
+
+let test_injector_plan_reproducible () =
+  let mk () =
+    let m = Amulet_mcu.Machine.create () in
+    let words =
+      List.concat_map Amulet_mcu.Encode.encode
+        [
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.MOV,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 2000,
+              Amulet_mcu.Opcode.D_reg 5 );
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.SUB,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 1,
+              Amulet_mcu.Opcode.D_reg 5 );
+          Amulet_mcu.Opcode.Jump (Amulet_mcu.Opcode.JNE, -2);
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.MOV,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 1,
+              Amulet_mcu.Opcode.D_absolute Amulet_mcu.Machine.halt_port );
+        ]
+    in
+    Amulet_mcu.Machine.load_words m ~addr:0x4400 words;
+    Amulet_mcu.Machine.set_reset_vector m 0x4400;
+    Amulet_mcu.Machine.reset m;
+    m
+  in
+  let run s =
+    let m = mk () in
+    let inj = Inject.arm (Inject.plan ~seed:s ~flips:4 ~window:(10, 2_000) Inject.Regs) m in
+    ignore (Amulet_mcu.Machine.run m);
+    (Inject.flips_done inj, Inject.log inj)
+  in
+  let f1, l1 = run 11 in
+  let f2, l2 = run 11 in
+  let _, l3 = run 12 in
+  Alcotest.(check int) "all scheduled flips applied" 4 f1;
+  Alcotest.(check int) "same seed, same flip count" f1 f2;
+  Alcotest.(check (list string)) "same seed, same flip log" l1 l2;
+  Alcotest.(check bool) "different seed, different schedule" true (l1 <> l3)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel integrity probes used by the campaign and amulet_sim. *)
+
+let benign_fw mode =
+  let module Apps = Amulet_apps.Suite in
+  Aft.build ~mode
+    (List.map (Apps.spec_for mode) [ Apps.security_victim; Apps.security_carrier ])
+
+let test_kernel_probes_clean () =
+  let fw = benign_fw Iso.Mpu_assisted in
+  let k = Kernel.create ~policy:Kernel.Disable ~seed fw in
+  let _ = Kernel.run_for_ms k 2_000 in
+  Alcotest.(check bool) "OS code checksum holds" true (Kernel.os_intact k);
+  Alcotest.(check bool) "victim answers a liveness probe" true
+    (Kernel.liveness_probe k ~app:0);
+  Alcotest.(check (list (pair string string))) "no unrecovered faults" []
+    (Kernel.unrecovered_faults k)
+
+let test_kernel_probes_faulty () =
+  let faulty =
+    {|
+void handle_init(int arg) { api_set_timer(100); }
+void handle_timer(int arg) {
+  int *p = (int*)0x4400;
+  *p = 1;
+}
+|}
+  in
+  let fw =
+    Aft.build ~mode:Iso.Mpu_assisted
+      [
+        { Aft.name = "victim"; source = Amulet_apps.Sec_sources.victim };
+        { Aft.name = "faulty"; source = faulty };
+      ]
+  in
+  let k = Kernel.create ~policy:Kernel.Disable ~seed fw in
+  let _ = Kernel.run_for_ms k 2_000 in
+  Alcotest.(check bool) "OS survives" true (Kernel.os_intact k);
+  match Kernel.unrecovered_faults k with
+  | [ (name, _) ] -> Alcotest.(check string) "faulty app disabled" "faulty" name
+  | l -> Alcotest.failf "expected one unrecovered fault, got %d" (List.length l)
+
+let () =
+  Alcotest.run "sec"
+    [
+      ( "mpu-granularity",
+        [
+          Alcotest.test_case "slack geometry" `Quick test_slack_geometry;
+          Alcotest.test_case "slack write tolerated" `Quick test_mpu_slack_leak;
+          Alcotest.test_case "below-base store faults" `Quick
+            test_mpu_probe_below;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "detects a real breach" `Quick
+            test_oracle_breach_detection;
+          Alcotest.test_case "quiet when contained" `Quick test_oracle_contained;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "quick subset matches" `Slow test_quick_corpus ] );
+      ( "injector",
+        [
+          Alcotest.test_case "campaign row deterministic" `Quick
+            test_injector_determinism;
+          Alcotest.test_case "plan reproducible" `Quick
+            test_injector_plan_reproducible;
+        ] );
+      ( "kernel-probes",
+        [
+          Alcotest.test_case "clean run" `Quick test_kernel_probes_clean;
+          Alcotest.test_case "faulty app surfaces" `Quick
+            test_kernel_probes_faulty;
+        ] );
+    ]
