@@ -2,13 +2,16 @@
    paper's evaluation, printing measured values next to the paper's,
    then runs Bechamel microbenchmarks of the underlying simulator.
 
-   Usage: main.exe [quick]  — "quick" cuts iteration counts for CI. *)
+   Usage: main.exe [quick] [snapshot]
+     quick     — cut iteration counts for CI
+     snapshot  — only emit the BENCH_gateheavy.json perf snapshot *)
 
 module Iso = Amulet_cc.Isolation
 module Ex = Amulet_iso.Experiments
 module Paper = Amulet_iso.Paper
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let snapshot_only = Array.exists (fun a -> a = "snapshot") Sys.argv
 
 let line = String.make 72 '-'
 
@@ -282,6 +285,115 @@ let run_injector_zero_cost () =
      profiler reports byte-identical (asserted)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Perf-trajectory snapshot: BENCH_gateheavy.json.
+
+   One machine-readable record per PR so the simulator-speed and
+   gate-cost trajectories are diffable run-over-run (the ROADMAP's
+   "≥10x cycles/sec" predecode target needs a baseline to beat).
+   Simulator throughput is host-dependent; the gate-cost cycle counts
+   are deterministic simulated values and must only improve. *)
+
+let snapshot_path = "BENCH_gateheavy.json"
+
+let run_gateheavy_snapshot () =
+  section ("Perf snapshot: gateheavy microbench -> " ^ snapshot_path);
+  let module J = Amulet_obs.Json in
+  let module Aft = Amulet_aft.Aft in
+  let module Os = Amulet_os in
+  let module Apps = Amulet_apps.Suite in
+  (* host throughput: simulated cycles per wall second dispatching the
+     gateheavy button handler back-to-back under the full kernel, per
+     isolation mode (gateheavy is event-driven: [run_for_ms] alone
+     would idle, so drive the dispatch loop explicitly) *)
+  let dispatches = if quick then 500 else 5_000 in
+  let throughput mode =
+    let fw = Aft.build ~mode [ Apps.spec_for mode Apps.gateheavy ] in
+    let k = Os.Kernel.create ~scenario:Os.Sensors.Walking fw in
+    let _ = Os.Kernel.run_for_ms k 5 in
+    let t0 = Sys.time () in
+    let c0 = Amulet_mcu.Machine.cycles k.Os.Kernel.machine in
+    for _ = 1 to dispatches do
+      Os.Kernel.post k ~delay_ms:0 ~app:0 (Os.Event.Button 1) ~arg:1;
+      ignore (Os.Kernel.dispatch_next k)
+    done;
+    let host_s = max (Sys.time () -. t0) 1e-9 in
+    let cycles = Amulet_mcu.Machine.cycles k.Os.Kernel.machine - c0 in
+    (cycles, host_s, float_of_int cycles /. host_s)
+  in
+  let speeds = List.map (fun m -> (m, throughput m)) Iso.all in
+  Printf.printf "%-18s %14s %12s %16s\n" "Method" "sim cycles" "host s"
+    "cycles/sec";
+  List.iter
+    (fun (m, (cycles, host_s, rate)) ->
+      Printf.printf "%-18s %14d %12.3f %16.0f\n" (mode_label m) cycles host_s
+        rate)
+    speeds;
+  (* deterministic gate costs: context-switch cycles per mode (Table 1)
+     and the gate-pointer certification ablation on gateheavy itself *)
+  let runs = if quick then 10 else 50 in
+  let t1 = Ex.table1 ~runs () in
+  let cert = Ex.ablation_gate_cert ~runs () in
+  List.iter
+    (fun (r : Ex.gate_cert_row) ->
+      Printf.printf
+        "%-18s handler %.0f cyc dynamic, %.0f certified (%.1f cyc/gate)\n"
+        (mode_label r.Ex.gc_mode) r.Ex.gc_dynamic r.Ex.gc_certified
+        r.Ex.gc_per_gate)
+    cert;
+  let doc =
+    J.Obj
+      [
+        ("bench", J.Str "gateheavy");
+        ("schema", J.Int 1);
+        ("quick", J.Bool quick);
+        ("dispatches", J.Int dispatches);
+        ( "simulator",
+          J.Arr
+            (List.map
+               (fun (m, (cycles, host_s, rate)) ->
+                 J.Obj
+                   [
+                     ("mode", J.Str (mode_label m));
+                     ("sim_cycles", J.Int cycles);
+                     ("host_seconds", J.Float host_s);
+                     ("cycles_per_sec", J.Float rate);
+                   ])
+               speeds) );
+        ( "gate_costs",
+          J.Obj
+            [
+              ( "context_switch_cycles",
+                J.Obj
+                  (List.map
+                     (fun (r : Ex.table1_row) ->
+                       (mode_label r.Ex.t1_mode, J.Float r.Ex.t1_ctx_switch))
+                     t1) );
+              ( "gate_cert",
+                J.Arr
+                  (List.map
+                     (fun (r : Ex.gate_cert_row) ->
+                       J.Obj
+                         [
+                           ("mode", J.Str (mode_label r.Ex.gc_mode));
+                           ("dynamic_cycles", J.Float r.Ex.gc_dynamic);
+                           ("certified_cycles", J.Float r.Ex.gc_certified);
+                           ("per_gate_cycles", J.Float r.Ex.gc_per_gate);
+                           ( "services",
+                             J.Arr
+                               (List.map (fun s -> J.Str s) r.Ex.gc_services)
+                           );
+                         ])
+                     cert) );
+            ] );
+      ]
+  in
+  let oc = open_out snapshot_path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "snapshot written to %s\n" snapshot_path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate *)
 
 let loop_machine () =
@@ -375,11 +487,14 @@ let () =
     "Reproduction harness: Hardin et al., \"Application Memory Isolation on \
      Ultra-Low-Power MCUs\" (USENIX ATC 2018)\n";
   if quick then Printf.printf "(quick mode: reduced iteration counts)\n";
-  run_table1 ();
-  run_figure3 ();
-  run_figure2 ();
-  run_ablations ();
-  run_observability ();
-  run_injector_zero_cost ();
-  bechamel_benches ();
+  if not snapshot_only then begin
+    run_table1 ();
+    run_figure3 ();
+    run_figure2 ();
+    run_ablations ();
+    run_observability ();
+    run_injector_zero_cost ()
+  end;
+  run_gateheavy_snapshot ();
+  if not snapshot_only then bechamel_benches ();
   Printf.printf "\ndone.\n"

@@ -16,12 +16,15 @@
 
 module I = Amulet_link.Image
 module Iso = Amulet_cc.Isolation
+module Ob = Amulet_proof.Obligations
+module Engine = Amulet_proof.Engine
 
 type severity = Note | Warn | Error
 
 type diag = {
   d_app : string;  (** "" for image-level diagnostics *)
-  d_pass : string;  (** "image" | "sfi" | "cfi" | "stackcert" | "gates" *)
+  d_pass : string;
+      (** "image" | "sfi" | "cfi" | "stackcert" | "gates" | "proof" *)
   d_severity : severity;
   d_addr : int option;
   d_message : string;
@@ -137,13 +140,39 @@ let lint_app ~image ~mode prefix =
       r_gates = gates; r_certified = certified },
     List.rev !diags )
 
+(* The mode-level write-containment obligations ([lib/proof]): each is
+   expected to prove by k-induction or refute with a replayable
+   counterexample; any obligation off its documented expectation is a
+   certification error.  Image-independent, so reported at image
+   level. *)
+let proof_diags mode =
+  List.map
+    (fun (r : Ob.result) ->
+      let status =
+        match r.Ob.res_verdict with
+        | Engine.Proved { k; reachable; strengthened } ->
+          Printf.sprintf "proved by %d-induction over %d reachable states%s" k
+            reachable
+            (if strengthened then " (window-integrity strengthened)" else "")
+        | Engine.Refuted { trace; _ } ->
+          Printf.sprintf "refuted by a %d-step counterexample%s"
+            (List.length trace)
+            (if r.Ob.res_ok then ", as documented" else "")
+        | Engine.Unknown { k_max; reason } ->
+          Printf.sprintf "undecided at k_max=%d: %s" k_max reason
+      in
+      { d_app = ""; d_pass = "proof";
+        d_severity = (if r.Ob.res_ok then Note else Error); d_addr = None;
+        d_message = r.Ob.res_ob.Ob.ob_name ^ " " ^ status })
+    (Ob.run_mode mode)
+
 let run ~(image : I.t) ~mode ~apps =
   let per_app = List.map (lint_app ~image ~mode) apps in
   let diags =
     if apps = [] then
       [ { d_app = ""; d_pass = "image"; d_severity = Error; d_addr = None;
           d_message = "image has no app code sections: nothing was certified" } ]
-    else List.concat_map snd per_app
+    else List.concat_map snd per_app @ proof_diags mode
   in
   let count s = List.length (List.filter (fun d -> d.d_severity = s) diags) in
   {

@@ -9,7 +9,8 @@ type severity = Note | Warn | Error
 
 type diag = {
   d_app : string;  (** "" for image-level diagnostics *)
-  d_pass : string;  (** "image" | "sfi" | "cfi" | "stackcert" | "gates" *)
+  d_pass : string;
+      (** "image" | "sfi" | "cfi" | "stackcert" | "gates" | "proof" *)
   d_severity : severity;
   d_addr : int option;
   d_message : string;

@@ -59,6 +59,8 @@ type t = {
   mutable host_call : t -> int -> unit;
   mutable on_event : (Trace.event -> unit) option;
   mutable on_step : (t -> unit) option;
+  mutable emit_hook : (Trace.event -> unit) option;
+  mutable in_step : bool;
   mutable extra_cycles : int;
 }
 
@@ -71,7 +73,14 @@ let cycles t = t.cpu.Cpu.cycles + t.extra_cycles
 let add_cycles t n = t.extra_cycles <- t.extra_cycles + n
 let regs t = t.cpu.Cpu.regs
 
-let emit t e = match t.on_event with None -> () | Some f -> f e
+(* During an instruction, events go to the watcher chain snapshotted
+   at step entry: a watcher armed mid-step (from an event callback)
+   must observe whole instructions starting at the next boundary,
+   never a suffix of the one in flight. *)
+let emit t e =
+  match if t.in_step then t.emit_hook else t.on_event with
+  | None -> ()
+  | Some f -> f e
 
 let add_watch t f =
   match t.on_event with
@@ -82,6 +91,16 @@ let add_watch t f =
         (fun e ->
           g e;
           f e)
+
+let add_step_hook t f =
+  match t.on_step with
+  | None -> t.on_step <- Some f
+  | Some g ->
+    t.on_step <-
+      Some
+        (fun m ->
+          g m;
+          f m)
 
 let pc_of t = Registers.get_pc t.cpu.Cpu.regs
 
@@ -176,6 +195,8 @@ let create () =
       host_call = (fun _ _ -> ());
       on_event = None;
       on_step = None;
+      emit_hook = None;
+      in_step = false;
       extra_cycles = 0;
     }
   in
@@ -203,18 +224,28 @@ let step t =
      are identical with and without the facility armed (asserted by
      the bench suite). *)
   (match t.on_step with None -> () | Some f -> f t);
+  (* Snapshot the watcher chain AFTER the step hook, so a watchpoint
+     armed pre-instruction observes this instruction from its first
+     event, and one armed mid-instruction starts at the next boundary
+     — deterministic either way. *)
+  t.emit_hook <- t.on_event;
+  t.in_step <- true;
   let pc0 = pc_of t in
   let faulted f =
     emit t (Trace.Fault_event (Format.asprintf "%a" pp_fault f));
     Error f
   in
-  try
-    let i = Cpu.step t.cpu in
-    emit t (Trace.Exec { pc = pc0; instr = i });
-    Ok i
-  with
-  | Fault f -> faulted f
-  | Decode.Illegal word -> faulted (Illegal_instruction { pc = pc0; word })
+  let result =
+    try
+      let i = Cpu.step t.cpu in
+      emit t (Trace.Exec { pc = pc0; instr = i });
+      Ok i
+    with
+    | Fault f -> faulted f
+    | Decode.Illegal word -> faulted (Illegal_instruction { pc = pc0; word })
+  in
+  t.in_step <- false;
+  result
 
 let run ?(fuel = 10_000_000) t =
   let rec loop budget =

@@ -53,7 +53,12 @@ type t = {
   mutable on_step : (t -> unit) option;
       (** called before each instruction executes — the fault
           injector's hook.  Host-side only: charges no simulated
-          cycles whether installed or not. *)
+          cycles whether installed or not.  Prefer {!add_step_hook}
+          over assigning this field directly. *)
+  mutable emit_hook : (Trace.event -> unit) option;
+      (** internal: the watcher chain snapshotted at step entry;
+          {!step} maintains it — do not assign *)
+  mutable in_step : bool;  (** internal: an instruction is in flight *)
   mutable extra_cycles : int;
       (** cycles charged by host services, included in {!cycles} *)
 }
@@ -96,7 +101,25 @@ val add_watch : t -> (Trace.event -> unit) -> unit
 (** Install an event watcher, composing with (running after) any hook
     already present — the isolation oracle's watchpoint mechanism.
     Watchers are host-side observers: they charge no cycles and cannot
-    alter the access they observe. *)
+    alter the access they observe.
+
+    Ordering contract: {!step} snapshots the watcher chain once per
+    instruction, after the pre-instruction hook ({!add_step_hook})
+    has run.  A watcher armed from a step hook therefore observes the
+    imminent instruction from its very first event (pre-instruction
+    state included); a watcher armed mid-instruction — from another
+    watcher's callback — observes nothing until the next instruction
+    boundary.  Either way a watcher sees whole instructions only,
+    never a suffix of the one that installed it, so observation is
+    deterministic regardless of where inside a step the arming
+    happened. *)
+
+val add_step_hook : t -> (t -> unit) -> unit
+(** Install a pre-instruction hook, composing with (running after) any
+    hook already present — the fault injector's entry point.  Runs
+    before the instruction executes and before the watcher chain is
+    snapshotted, so watchpoints it arms observe that instruction
+    deterministically (see {!add_watch}). *)
 
 val mem_checked_read : t -> Word.width -> int -> int
 (** Read memory the way the CPU would (without MPU checks) — for host

@@ -1,0 +1,28 @@
+(** Per-opcode abstraction lemmas, checked by differential execution.
+
+    For every opcode in [lib/mcu/decode.ml]/[alu.ml], the memory
+    footprint (loaded addresses, stored addresses, next PC) is
+    predicted from the pre-instruction register file, then one real
+    {!Amulet_mcu.Machine} step runs and the observed trace events are
+    compared.  Data values and arithmetic flags are deliberately out
+    of scope — the isolation proof depends only on where accesses
+    land, not on what they carry. *)
+
+type footprint = {
+  fp_loads : (int * Amulet_mcu.Word.width) list;
+  fp_stores : (int * Amulet_mcu.Word.width) list;
+  fp_next_pc : int;
+}
+
+type failure = { f_case : string; f_reason : string }
+type outcome = { lv_cases : int; lv_failures : failure list }
+
+val run_case : ?flags:bool -> Amulet_mcu.Opcode.t -> failure option
+(** Differentially check one opcode instance ([flags] preloads the
+    status-register condition bits, for conditional jumps).  [None]
+    when the lemma holds. *)
+
+val validate : unit -> outcome
+(** The full corpus: every two-operand op × width × addressing shape,
+    the branch idioms (BR/RET), every single-operand op, taken and
+    untaken forms of every jump condition, and RETI. *)

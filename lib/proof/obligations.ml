@@ -1,0 +1,182 @@
+(* The proof obligations: one write-containment claim per isolation
+   mode and attacker model, each proved by k-induction or refuted with
+   a shortest counterexample trace.
+
+   The obligation matrix states each mode's *honest* contract:
+
+   - every mode contains a benign app (baseline sanity);
+   - Feature-Limited contains anything its compiler accepts, because
+     the accepted language cannot name foreign addresses;
+   - Software-only contains compiled code whose stack is bounded
+     (discharged statically by the stack certifier); it is refuted for
+     unbounded recursion — the pushes themselves are unguarded — and
+     for binary payloads;
+   - Mpu-assisted contains compiled code over all MPU-covered memory
+     (k-induction with a window-integrity strengthening), but the
+     unconditional claim is *refutable*: the mode's lower-bound-only
+     guard is an unsigned compare and the vector page above
+     fram_limit is mapped, writable and never MPU-covered, so a wild
+     pointer ≥ 0xFF80 slips both layers.  That hole is stated as an
+     explicit refutable obligation instead of being papered over.
+     Binary payloads defeat the MPU via its password-published
+     registers. *)
+
+module Iso = Amulet_cc.Isolation
+module A = Absmachine
+
+type prop =
+  | P_no_breach  (** no app action ever lands outside its sanction *)
+  | P_no_breach_covered
+      (** no breach in MPU-coverable memory (the vector page exempt) *)
+  | P_window_integrity
+      (** the MPU stays enabled, and the app window is programmed
+          whenever the app side runs *)
+
+let prop_name = function
+  | P_no_breach -> "no-breach"
+  | P_no_breach_covered -> "no-breach-covered"
+  | P_window_integrity -> "window-integrity"
+
+type expect = Theorem | Refutable
+
+type obligation = {
+  ob_name : string;
+  ob_mode : Iso.mode;
+  ob_attacker : A.attacker;
+  ob_prop : prop;
+  ob_aux : bool;  (** conjoin the window-integrity strengthening *)
+  ob_expect : expect;
+  ob_descr : string;
+}
+
+let window_ok (s : A.state) =
+  s.A.mpu_en && (s.A.priv <> A.P_app || s.A.win = A.W_app)
+
+let prop_fn = function
+  | P_no_breach -> (
+    fun (s : A.state) ->
+      match s.A.dead with Some (A.D_breach _) -> false | _ -> true)
+  | P_no_breach_covered -> (
+    fun (s : A.state) ->
+      match s.A.dead with
+      | Some (A.D_breach b) -> b.A.br_region = A.R_vectors
+      | _ -> true)
+  | P_window_integrity -> window_ok
+
+let ob ~name ~mode ~attacker ?(prop = P_no_breach) ?(aux = false) ~expect descr
+    =
+  {
+    ob_name = name;
+    ob_mode = mode;
+    ob_attacker = attacker;
+    ob_prop = prop;
+    ob_aux = aux;
+    ob_expect = expect;
+    ob_descr = descr;
+  }
+
+let bounded = A.Compiled { stack_bounded = true }
+let unbounded = A.Compiled { stack_bounded = false }
+
+let all =
+  [
+    (* --- baseline: every mode contains a benign app ---------------- *)
+    ob ~name:"none-benign" ~mode:Iso.No_isolation ~attacker:A.Benign
+      ~expect:Theorem "a well-behaved app stays inside its region";
+    ob ~name:"fl-benign" ~mode:Iso.Feature_limited ~attacker:A.Benign
+      ~expect:Theorem "a well-behaved app stays inside its region";
+    ob ~name:"sw-benign" ~mode:Iso.Software_only ~attacker:A.Benign
+      ~expect:Theorem "a well-behaved app stays inside its region";
+    ob ~name:"mpu-benign" ~mode:Iso.Mpu_assisted ~attacker:A.Benign
+      ~expect:Theorem "a well-behaved app stays inside its region";
+    (* --- No_isolation: no adversarial containment ------------------ *)
+    ob ~name:"none-compiled" ~mode:Iso.No_isolation ~attacker:bounded
+      ~expect:Refutable "a wild pointer store lands anywhere";
+    ob ~name:"none-binary" ~mode:Iso.No_isolation ~attacker:A.Binary
+      ~expect:Refutable "binary payloads land anywhere";
+    (* --- Feature_limited: containment by language subset ----------- *)
+    ob ~name:"fl-compiled" ~mode:Iso.Feature_limited ~attacker:bounded
+      ~expect:Theorem
+      "no pointers, no recursion: accepted programs cannot name foreign \
+       addresses";
+    ob ~name:"fl-binary" ~mode:Iso.Feature_limited ~attacker:A.Binary
+      ~expect:Refutable
+      "the language subset is a build-time defence only; smuggled binary \
+       escapes (the SFI verifier is the static recourse)";
+    (* --- Software_only: two-sided deref guards --------------------- *)
+    ob ~name:"sw-compiled" ~mode:Iso.Software_only ~attacker:bounded
+      ~expect:Theorem
+      "lower+upper guards confine every pointer deref to the app window; \
+       bounded stack discharged by the stack certifier";
+    ob ~name:"sw-compiled-wild-stack" ~mode:Iso.Software_only
+      ~attacker:unbounded ~expect:Refutable
+      "stack pushes are unguarded: unbounded recursion walks below the app \
+       window into the neighbour's memory";
+    ob ~name:"sw-binary" ~mode:Iso.Software_only ~attacker:A.Binary
+      ~expect:Refutable
+      "guards live in the emitted code; payloads that skip them are \
+       unconfined";
+    (* --- Mpu_assisted: lower guard + MPU upper bound --------------- *)
+    ob ~name:"mpu-window-integrity" ~mode:Iso.Mpu_assisted ~attacker:unbounded
+      ~prop:P_window_integrity ~expect:Theorem
+      "compiled code cannot reach the password-protected MPU registers \
+       (the guard blocks the pointer first), and the gates restore the app \
+       window on every return";
+    ob ~name:"mpu-compiled-covered" ~mode:Iso.Mpu_assisted ~attacker:unbounded
+      ~prop:P_no_breach_covered ~aux:true ~expect:Theorem
+      "over MPU-coverable memory the lower guard and segment-3 no-access \
+       window contain every compiled access, including stack overflow";
+    ob ~name:"mpu-compiled-vectors" ~mode:Iso.Mpu_assisted ~attacker:bounded
+      ~expect:Refutable
+      "the vector page above fram_limit is writable, never MPU-covered, \
+       and above the unsigned lower-bound guard: a wild pointer >= 0xFF80 \
+       slips both layers";
+    ob ~name:"mpu-binary" ~mode:Iso.Mpu_assisted ~attacker:A.Binary
+      ~expect:Refutable
+      "the MPU password is an architectural constant: a payload disables \
+       or rebounds the unit, and SRAM is never covered";
+  ]
+
+let find name = List.find (fun o -> o.ob_name = name) all
+
+(* ------------------------------------------------------------------ *)
+
+let system (o : obligation) : (A.state, A.action) Engine.system =
+  {
+    Engine.universe = A.universe;
+    inits = [ A.init ~mode:o.ob_mode ];
+    actions = A.repertoire ~mode:o.ob_mode ~attacker:o.ob_attacker;
+    step = (fun s a -> A.step ~mode:o.ob_mode s a);
+    prop = prop_fn o.ob_prop;
+    equal = A.state_equal;
+    pp_state = A.pp_state;
+    pp_action = A.pp_action;
+  }
+
+type result = {
+  res_ob : obligation;
+  res_verdict : (A.state, A.action) Engine.verdict;
+  res_ok : bool;  (** the verdict matches the obligation's expectation *)
+}
+
+let check ?(k_max = 8) (o : obligation) =
+  let sys = system o in
+  let aux = if o.ob_aux then Some window_ok else None in
+  let verdict = Engine.k_induction ~k_max ?aux sys in
+  let ok =
+    match (o.ob_expect, verdict) with
+    | Theorem, Engine.Proved _ -> true
+    | Refutable, Engine.Refuted _ -> true
+    | _ -> false
+  in
+  { res_ob = o; res_verdict = verdict; res_ok = ok }
+
+let run ?k_max () = List.map (check ?k_max) all
+
+let run_mode ?k_max mode =
+  List.filter (fun o -> o.ob_mode = mode) all |> List.map (check ?k_max)
+
+let refuted_trace r =
+  match r.res_verdict with
+  | Engine.Refuted { trace; final } -> Some (trace, final)
+  | _ -> None

@@ -1,0 +1,46 @@
+(** The write-containment proof obligations: one claim per isolation
+    mode and attacker model, each expected to be a k-induction theorem
+    or refutable with a machine-replayable counterexample.  The matrix
+    states each mode's honest contract — including the Mpu_assisted
+    vector-page hole, which appears as an explicit refutable claim. *)
+
+type prop = P_no_breach | P_no_breach_covered | P_window_integrity
+
+val prop_name : prop -> string
+
+type expect = Theorem | Refutable
+
+type obligation = {
+  ob_name : string;
+  ob_mode : Amulet_cc.Isolation.mode;
+  ob_attacker : Absmachine.attacker;
+  ob_prop : prop;
+  ob_aux : bool;  (** conjoin the window-integrity strengthening *)
+  ob_expect : expect;
+  ob_descr : string;
+}
+
+val all : obligation list
+val find : string -> obligation
+
+val window_ok : Absmachine.state -> bool
+(** The strengthening predicate: MPU enabled, app window programmed
+    whenever the app side runs.  Required for [mpu-compiled-covered] —
+    the bare property is not k-inductive at any k. *)
+
+val system :
+  obligation -> (Absmachine.state, Absmachine.action) Engine.system
+
+type result = {
+  res_ob : obligation;
+  res_verdict : (Absmachine.state, Absmachine.action) Engine.verdict;
+  res_ok : bool;
+}
+
+val check : ?k_max:int -> obligation -> result
+val run : ?k_max:int -> unit -> result list
+val run_mode : ?k_max:int -> Amulet_cc.Isolation.mode -> result list
+
+val refuted_trace :
+  result ->
+  ((Absmachine.state * Absmachine.action) list * Absmachine.state) option

@@ -1,0 +1,176 @@
+(* Counterexample replay: turn an abstract refutation trace into a
+   bare-metal payload, run it on the real [Machine] under the mode's
+   MPU configuration, and check that the concrete machine exhibits the
+   same containment failure the abstract engine predicted.
+
+   The replay is deliberately *bare*: no compiler, no AFT, no OS — the
+   payload is hand-encoded at the attacker's code region and observed
+   by the same sanction rules the campaign oracle uses.  Guard stucks
+   ([S_guard]) and gate stucks ([S_gate]) are therefore out of scope
+   here (they live in toolchain-emitted code and the kernel; the
+   attack campaign exercises them end-to-end) — what replay validates
+   is the part the abstract MPU/memory model claims: where raw
+   accesses land, what the MPU blocks, and that predicted breaches
+   really happen. *)
+
+module M = Amulet_mcu.Machine
+module R = Amulet_mcu.Registers
+module O = Amulet_mcu.Opcode
+module W = Amulet_mcu.Word
+module T = Amulet_mcu.Trace
+module Mpu = Amulet_mcu.Mpu
+module Map = Amulet_mcu.Memory_map
+module Encode = Amulet_mcu.Encode
+module Iso = Amulet_cc.Isolation
+module A = Absmachine
+module I = Interval
+
+let attack_value = 0x3039
+
+type report = {
+  rp_stop : string;
+  rp_breaches : (A.kind * int) list;  (** sanction violations observed *)
+  rp_ok : bool;  (** the concrete run matches the abstract verdict *)
+  rp_detail : string;
+}
+
+let mov_imm_abs v a = O.Fmt1 (O.MOV, W.W16, O.S_immediate v, O.D_absolute a)
+let mov_abs_reg a r = O.Fmt1 (O.MOV, W.W16, O.S_absolute a, O.D_reg r)
+let br_imm a = O.Fmt1 (O.MOV, W.W16, O.S_immediate a, O.D_reg 0)
+
+(* PUSH-loop walking the stack down far enough to leave the app
+   window: MOV #n, R5; l: PUSH R4; SUB #1, R5; JNE l. *)
+let push_loop n =
+  [
+    O.Fmt1 (O.MOV, W.W16, O.S_immediate n, O.D_reg 5);
+    O.Fmt2 (O.PUSH, W.W16, O.S_reg 4);
+    O.Fmt1 (O.SUB, W.W16, O.S_immediate 1, O.D_reg 5);
+    O.Jump (O.JNE, -3);
+  ]
+
+exception Unsupported of string
+
+let ops_of_action g (a : A.action) =
+  let rep r = A.rep g r in
+  match a with
+  | A.A_compute | A.A_push_bounded -> [ O.Fmt2 (O.PUSH, W.W16, O.S_reg 4) ]
+  | A.A_store A.R_mpu_regs | A.A_guarded_store A.R_mpu_regs ->
+    (* the abstract step assumes the worst case — a correctly
+       passworded write — so the concrete payload must use one too *)
+    [ mov_imm_abs 0xA500 Mpu.ctl0_addr ]
+  | A.A_store r | A.A_guarded_store r -> [ mov_imm_abs attack_value (rep r) ]
+  | A.A_load r | A.A_guarded_load r -> [ mov_abs_reg (rep r) 12 ]
+  | A.A_jump r | A.A_guarded_call r -> [ br_imm (rep r) ]
+  | A.A_mpu_store A.M_disable -> [ mov_imm_abs 0xA500 Mpu.ctl0_addr ]
+  | A.A_mpu_store A.M_widen ->
+    [ mov_imm_abs (I.hi g.A.g_victim lsr 4) Mpu.segb2_addr ]
+  | A.A_mpu_store A.M_badpw -> [ mov_imm_abs 0x0000 Mpu.ctl0_addr ]
+  | A.A_push_wild ->
+    (* enough pushes to walk from the stack top out of its region,
+       whatever the mode: the whole window plus a margin *)
+    push_loop ((I.width (A.window g) / 2) + 8)
+  | A.A_gate_enter | A.A_gate_exit | A.A_gate_ptr _ ->
+    raise (Unsupported (A.action_to_string a))
+
+(* Seed plausible landing pads at jump targets so a breaching branch
+   produces an [Exec] event (and then halts) instead of decoding
+   zeroed FRAM. *)
+let seed_landing m g =
+  let halt = List.concat_map Encode.encode [ mov_imm_abs 1 M.halt_port ] in
+  List.iter
+    (fun r -> M.load_words m ~addr:(A.rep g r) halt)
+    [
+      A.R_os; A.R_victim; A.R_fram_high; A.R_vectors; A.R_sram; A.R_info;
+      A.R_own_data; A.R_own_slack;
+    ]
+
+let arm_oracle ~mode g m =
+  let breaches = ref [] in
+  let shared = not (Iso.separate_stacks mode) in
+  let sanction_w a =
+    I.mem a (A.window g) || (shared && I.mem a g.A.g_sram)
+  in
+  let sanction_r a = sanction_w a || I.mem a g.A.g_own_code in
+  M.add_watch m (function
+    | T.Mem_write { addr; _ } when not (sanction_w addr) ->
+      breaches := (A.K_write, addr) :: !breaches
+    | T.Mem_read { addr; _ } when not (sanction_r addr) ->
+      breaches := (A.K_read, addr) :: !breaches
+    | T.Exec { pc; _ } when not (I.mem pc g.A.g_own_code) ->
+      breaches := (A.K_exec, pc) :: !breaches
+    | T.Io_write { addr; _ } when Mpu.handles addr ->
+      breaches := (A.K_mpu, addr) :: !breaches
+    | _ -> ());
+  breaches
+
+let app_sam = Mpu.sam_bits ~seg1:"x" ~seg2:"rw" ~seg3:"" ()
+
+let setup ~mode g payload =
+  let m = M.create () in
+  seed_landing m g;
+  let code = A.rep g A.R_own_code in
+  M.load_words m ~addr:code
+    (List.concat_map Encode.encode
+       (payload @ [ mov_imm_abs 1 M.halt_port ]));
+  M.set_reset_vector m code;
+  M.reset m;
+  if Iso.separate_stacks mode then R.set_sp (M.regs m) (A.data_hi g);
+  if Iso.uses_mpu mode then
+    Mpu.configure m.M.mpu ~b1:(A.data_lo g) ~b2:(A.data_hi g) ~sam:app_sam
+      ~enable:true;
+  m
+
+let stop_name = Format.asprintf "%a" M.pp_stop_reason
+
+let replay ~mode ?(geom = A.default) ~trace ~(final : A.state) () :
+    (report, string) result =
+  match List.concat_map (fun (_, a) -> ops_of_action geom a) trace with
+  | exception Unsupported what ->
+    Error (Printf.sprintf "action %s needs the full AFT/OS (campaign scope)" what)
+  | payload -> (
+    let m = setup ~mode geom payload in
+    let breaches = arm_oracle ~mode geom m in
+    let stop = M.run ~fuel:100_000 m in
+    let bs = List.rev !breaches in
+    let report ok detail =
+      Ok { rp_stop = stop_name stop; rp_breaches = bs; rp_ok = ok; rp_detail = detail }
+    in
+    match final.A.dead with
+    | Some (A.D_breach b) ->
+      let iv = A.interval_of geom b.A.br_region in
+      let hit =
+        List.exists (fun (k, a) -> k = b.A.br_kind && I.mem a iv) bs
+      in
+      report hit
+        (if hit then
+           Printf.sprintf "predicted %s breach in %s observed concretely"
+             (A.kind_name b.A.br_kind)
+             (A.region_name b.A.br_region)
+         else
+           Printf.sprintf "predicted %s breach in %s NOT observed (stop: %s)"
+             (A.kind_name b.A.br_kind)
+             (A.region_name b.A.br_region)
+             (stop_name stop))
+    | Some (A.D_stuck A.S_mpu) ->
+      let ok =
+        bs = []
+        && (match stop with M.Faulted (M.Mpu_violation _) -> true | _ -> false)
+      in
+      report ok "predicted MPU fault"
+    | Some (A.D_stuck A.S_badpw) ->
+      let ok =
+        match stop with M.Faulted (M.Mpu_bad_password _) -> true | _ -> false
+      in
+      report ok "predicted MPU password fault"
+    | Some (A.D_stuck A.S_kernel) ->
+      let ok =
+        bs = []
+        && (match stop with
+           | M.Faulted (M.Unmapped _) | M.Out_of_fuel -> true
+           | _ -> false)
+      in
+      report ok "predicted kernel-recoverable bus fault"
+    | Some (A.D_stuck (A.S_guard | A.S_gate)) ->
+      Error "guard/gate stucks live in toolchain code (campaign scope)"
+    | None ->
+      report (bs = [] && stop = M.Halted) "predicted clean run")

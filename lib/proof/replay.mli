@@ -1,0 +1,28 @@
+(** Counterexample replay on the concrete machine.
+
+    An abstract refutation trace is hand-encoded as a bare-metal
+    payload at the attacker's code region, run under the mode's MPU
+    configuration, and observed by the campaign oracle's sanction
+    rules.  Validates the abstract MPU/memory claims: where raw
+    accesses land, what the MPU blocks, and that predicted breaches
+    really happen.  Guard and gate stucks are out of scope (they live
+    in toolchain-emitted code and the kernel — the attack campaign
+    covers them end-to-end). *)
+
+type report = {
+  rp_stop : string;  (** concrete stop reason *)
+  rp_breaches : (Absmachine.kind * int) list;
+      (** sanction violations observed, in order *)
+  rp_ok : bool;  (** the concrete run matches the abstract verdict *)
+  rp_detail : string;
+}
+
+val replay :
+  mode:Amulet_cc.Isolation.mode ->
+  ?geom:Absmachine.geom ->
+  trace:(Absmachine.state * Absmachine.action) list ->
+  final:Absmachine.state ->
+  unit ->
+  (report, string) result
+(** [Error] when the trace uses actions a bare machine cannot express
+    (gates, toolchain guards). *)

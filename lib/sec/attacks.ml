@@ -57,6 +57,13 @@ let placeholder_targets =
 
 let attack_value = 12345
 
+(* An unused interrupt-vector slot: inside [0xFF80, 0x10000), which the
+   MPU never covers and the Mpu_assisted lower-bound-only guard never
+   checks — the vector-page hole the proof layer states as the
+   [mpu-compiled-vectors] refutable obligation.  Kept away from the
+   reset and MPU-fault vectors so the running cell is not disturbed. *)
+let vector_slot = Map.vectors_start + 0x40
+
 type t = {
   atk_name : string;
   atk_level : level;
@@ -303,6 +310,12 @@ let corpus =
       ~descr:"data pointer write to MPUCTL0 (disable with password)"
       ~source:src_mpu_tamper ~target:no_target
       ~expect:(src_expect ~none:L_none ~sw:L_guard ~mpu:L_guard)
+      ();
+    source ~name:"src_wild_write_vectors"
+      ~descr:"wild write into the interrupt-vector page (above MPU coverage)"
+      ~source:(fun _ -> src_wild_write vector_slot)
+      ~target:(fun _ -> Some vector_slot)
+      ~expect:(src_expect ~none:L_none ~sw:L_guard ~mpu:L_none)
       ();
     source ~name:"src_probe_slack"
       ~descr:"write to the last word below the app's own data_limit"

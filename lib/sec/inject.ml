@@ -93,14 +93,7 @@ let arm plan m =
       t.applied <- describe t.steps f :: t.applied
     | _ -> ()
   in
-  (match m.M.on_step with
-  | None -> m.M.on_step <- Some tick
-  | Some prev ->
-    m.M.on_step <-
-      Some
-        (fun machine ->
-          prev machine;
-          tick machine));
+  M.add_step_hook m tick;
   t
 
 let steps t = t.steps

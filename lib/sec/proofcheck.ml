@@ -1,0 +1,138 @@
+(* Corpus ⇔ proof crosscheck.
+
+   Every attack in [Attacks.corpus] is restated as a deterministic
+   program of the abstract machine ([Amulet_proof.Absmachine]); the
+   scenario runner then derives which layer contains it under each
+   mode, and the derived layer must equal the attack's hand-written
+   [atk_expect] — the campaign's expectations fall out of the model
+   instead of being a parallel folklore table.
+
+   Cells the model says breach carry an abstract counterexample trace;
+   those are additionally replayed on the concrete [Machine]
+   ([Amulet_proof.Replay]) so that every negative expectation is
+   backed by a real run, not just an abstract one. *)
+
+module A = Amulet_proof.Absmachine
+module Replay = Amulet_proof.Replay
+module Iso = Amulet_cc.Isolation
+
+type scenario = { sc_attacker : A.attacker; sc_actions : A.action list }
+
+(* The abstract restatement of each attack.  Region names follow the
+   canonical single-attacker geometry: [R_os] is everything below the
+   attacker's code (OS and lower apps — so the [Last]-positioned
+   attacks aim there), [R_victim] the app above. *)
+let scenario_of (atk : Attacks.t) =
+  let compiled = A.Compiled { stack_bounded = true } in
+  let s attacker actions = Some { sc_attacker = attacker; sc_actions = actions } in
+  match atk.Attacks.atk_name with
+  | "src_wild_write_os" -> s compiled [ A.A_guarded_store A.R_os ]
+  | "src_wild_read_os" -> s compiled [ A.A_guarded_load A.R_os ]
+  | "src_wild_write_victim" -> s compiled [ A.A_guarded_store A.R_victim ]
+  | "src_wild_read_victim" -> s compiled [ A.A_guarded_load A.R_victim ]
+  | "src_wild_write_lower" -> s compiled [ A.A_guarded_store A.R_os ]
+  | "src_stack_smash" ->
+    s (A.Compiled { stack_bounded = false }) [ A.A_push_wild ]
+  | "src_gate_deputy_write" -> s compiled [ A.A_gate_ptr A.R_os ]
+  | "src_gate_deputy_read" -> s compiled [ A.A_gate_ptr A.R_victim ]
+  | "src_jump_os" -> s compiled [ A.A_guarded_call A.R_os ]
+  | "src_mpu_tamper" -> s compiled [ A.A_guarded_store A.R_mpu_regs ]
+  | "src_wild_write_vectors" -> s compiled [ A.A_guarded_store A.R_vectors ]
+  | "src_probe_slack" -> s compiled [ A.A_guarded_store A.R_own_slack ]
+  | "bin_wild_write_os" -> s A.Binary [ A.A_store A.R_os ]
+  | "bin_wild_read_os" -> s A.Binary [ A.A_load A.R_os ]
+  | "bin_wild_write_victim" -> s A.Binary [ A.A_store A.R_victim ]
+  | "bin_wild_write_sram" -> s A.Binary [ A.A_store A.R_sram ]
+  | "bin_mpu_disable" ->
+    s A.Binary [ A.A_mpu_store A.M_disable; A.A_store A.R_os ]
+  | "bin_mpu_rebound" ->
+    s A.Binary [ A.A_mpu_store A.M_widen; A.A_store A.R_victim ]
+  | "bin_jump_os_entry" -> s A.Binary [ A.A_jump A.R_os ]
+  | "bin_jump_victim_code" -> s A.Binary [ A.A_jump A.R_victim ]
+  | "bin_probe_below" -> s A.Binary [ A.A_store A.R_own_code ]
+  | "bin_probe_slack" -> s A.Binary [ A.A_store A.R_own_slack ]
+  | _ -> None
+
+let layer_of_containment = function
+  | A.C_build -> Attacks.L_build
+  | A.C_guard -> Attacks.L_guard
+  | A.C_mpu -> Attacks.L_mpu
+  | A.C_gate -> Attacks.L_gate
+  | A.C_kernel -> Attacks.L_kernel
+  | A.C_breach _ -> Attacks.L_none
+  | A.C_harmless -> Attacks.L_harmless
+
+type verdict =
+  | V_theorem  (** derived layer = expected layer, no breach involved *)
+  | V_counterexample  (** expected breach, derived and replayed concretely *)
+  | V_mismatch of { derived : Attacks.layer; replay : string option }
+  | V_unmodelled  (** attack has no abstract restatement *)
+
+type row = {
+  cc_attack : string;
+  cc_mode : Iso.mode;
+  cc_expected : Attacks.layer;
+  cc_verdict : verdict;
+}
+
+let row_ok r =
+  match r.cc_verdict with
+  | V_theorem | V_counterexample -> true
+  | V_mismatch _ | V_unmodelled -> false
+
+let check_cell (atk : Attacks.t) mode =
+  let expected = atk.Attacks.atk_expect mode in
+  let verdict =
+    match scenario_of atk with
+    | None -> V_unmodelled
+    | Some sc -> (
+      let containment, trace =
+        A.run_scenario ~mode ~attacker:sc.sc_attacker sc.sc_actions
+      in
+      let derived = layer_of_containment containment in
+      if derived <> expected then V_mismatch { derived; replay = None }
+      else
+        match containment with
+        | A.C_breach _ -> (
+          (* a negative expectation: back the abstract counterexample
+             with a concrete run *)
+          let final =
+            match List.rev trace with
+            | (s, a) :: _ -> (
+              match A.step ~mode s a with
+              | Some f -> f
+              | None -> A.init ~mode)
+            | [] -> A.init ~mode
+          in
+          match Replay.replay ~mode ~trace ~final () with
+          | Ok rep when rep.Replay.rp_ok -> V_counterexample
+          | Ok rep ->
+            V_mismatch { derived; replay = Some rep.Replay.rp_detail }
+          | Error e -> V_mismatch { derived; replay = Some e })
+        | _ -> V_theorem)
+  in
+  { cc_attack = atk.Attacks.atk_name; cc_mode = mode; cc_expected = expected;
+    cc_verdict = verdict }
+
+let run ?(modes = Iso.all) () =
+  List.concat_map
+    (fun atk -> List.map (check_cell atk) modes)
+    Attacks.corpus
+
+let ok rows = List.for_all row_ok rows
+
+let pp_row ppf r =
+  let verdict_str =
+    match r.cc_verdict with
+    | V_theorem -> "theorem"
+    | V_counterexample -> "counterexample(replayed)"
+    | V_unmodelled -> "UNMODELLED"
+    | V_mismatch { derived; replay } ->
+      Printf.sprintf "MISMATCH derived=%s%s"
+        (Attacks.layer_name derived)
+        (match replay with None -> "" | Some d -> " replay: " ^ d)
+  in
+  Format.fprintf ppf "%-24s %-14s expect=%-8s %s" r.cc_attack
+    (Iso.name r.cc_mode)
+    (Attacks.layer_name r.cc_expected)
+    verdict_str

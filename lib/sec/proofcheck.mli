@@ -1,0 +1,37 @@
+(** Corpus ⇔ proof crosscheck.
+
+    Restates every attack in {!Attacks.corpus} as a deterministic
+    program of the abstract machine and checks, mode by mode, that the
+    layer the model derives equals the attack's hand-written
+    expectation.  Cells the model says breach are additionally
+    replayed on the concrete machine, so every negative expectation is
+    backed by a real run. *)
+
+type scenario = {
+  sc_attacker : Amulet_proof.Absmachine.attacker;
+  sc_actions : Amulet_proof.Absmachine.action list;
+}
+
+val scenario_of : Attacks.t -> scenario option
+(** The abstract restatement, [None] for attacks with no model (there
+    are currently none — the crosscheck test enforces totality). *)
+
+type verdict =
+  | V_theorem  (** derived layer = expected layer, no breach involved *)
+  | V_counterexample
+      (** expected breach, derived abstractly and replayed concretely *)
+  | V_mismatch of { derived : Attacks.layer; replay : string option }
+  | V_unmodelled
+
+type row = {
+  cc_attack : string;
+  cc_mode : Amulet_cc.Isolation.mode;
+  cc_expected : Attacks.layer;
+  cc_verdict : verdict;
+}
+
+val row_ok : row -> bool
+val check_cell : Attacks.t -> Amulet_cc.Isolation.mode -> row
+val run : ?modes:Amulet_cc.Isolation.mode list -> unit -> row list
+val ok : row list -> bool
+val pp_row : Format.formatter -> row -> unit

@@ -751,6 +751,138 @@ let test_bad_password_write_emits_no_io_event () =
     "accepted MMIO write traced" true
     (List.mem Mpu.ctl0_addr !io_writes)
 
+(* ------------------------------------------------------------------ *)
+(* Hook ordering: watchpoints armed mid-step observe whole
+   instructions only, deterministically (machine.mli contract). *)
+
+let two_store_prog =
+  let open Opcode in
+  [
+    Fmt1 (MOV, Word.W16, S_immediate 0x1111, D_absolute 0x1C00);
+    Fmt1 (MOV, Word.W16, S_immediate 0x2222, D_absolute 0x1C02);
+  ]
+
+let test_midstep_watch_starts_next_insn () =
+  (* A watcher installed from inside another watcher's callback (i.e.
+     mid-instruction) must not see the tail of the instruction in
+     flight — in particular not its Exec event, which is emitted after
+     the store that triggered the arming. *)
+  let m = build_machine (two_store_prog @ [ halt_insn ]) in
+  let inner = ref [] in
+  let armed = ref false in
+  Machine.add_watch m (fun ev ->
+      match ev with
+      | Trace.Mem_write { addr = 0x1C00; _ } when not !armed ->
+        armed := true;
+        Machine.add_watch m (fun e -> inner := e :: !inner)
+      | _ -> ());
+  (match Machine.run m with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "expected halt, got %a" Machine.pp_stop_reason o);
+  let events = List.rev !inner in
+  Alcotest.(check bool) "inner watch saw later instructions" true
+    (events <> []);
+  (match events with
+  | Trace.Mem_write { addr; _ } :: _ ->
+    check_int "first observed event is the second store" 0x1C02 addr
+  | e :: _ ->
+    Alcotest.failf "first observed event is not a store: %s"
+      (Format.asprintf "%a" Trace.pp_event e)
+  | [] -> ());
+  List.iter
+    (function
+      | Trace.Exec { pc; _ } when pc = code_base ->
+        Alcotest.fail "inner watch saw a suffix of the arming instruction"
+      | Trace.Mem_write { addr = 0x1C00; _ } ->
+        Alcotest.fail "inner watch saw the store that armed it"
+      | _ -> ())
+    events
+
+let test_step_hook_watch_sees_current_insn () =
+  (* A watchpoint armed from the pre-instruction hook observes the
+     imminent instruction from its first event. *)
+  let m = build_machine (two_store_prog @ [ halt_insn ]) in
+  let seen = ref [] in
+  let armed = ref false in
+  Machine.add_step_hook m (fun m ->
+      if not !armed then begin
+        armed := true;
+        Machine.add_watch m (fun e -> seen := e :: !seen)
+      end);
+  (match Machine.run m with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "expected halt, got %a" Machine.pp_stop_reason o);
+  match List.rev !seen with
+  | Trace.Mem_write { addr; value; _ } :: _ ->
+    check_int "first store observed" 0x1C00 addr;
+    check_int "first store value" 0x1111 value
+  | e :: _ ->
+    Alcotest.failf "expected the first store, saw %s"
+      (Format.asprintf "%a" Trace.pp_event e)
+  | [] -> Alcotest.fail "step-hook-armed watch saw nothing"
+
+let test_step_hooks_compose_in_order () =
+  let m = build_machine [ halt_insn ] in
+  let order = ref [] in
+  Machine.add_step_hook m (fun _ -> order := "first" :: !order);
+  Machine.add_step_hook m (fun _ -> order := "second" :: !order);
+  ignore (Machine.step m);
+  Alcotest.(check (list string))
+    "hooks run in installation order" [ "first"; "second" ] (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Raw MPU register access (the fault injector's backdoor). *)
+
+let test_mpu_raw_roundtrip () =
+  let t = Mpu.create () in
+  List.iter
+    (fun (reg, v, expect) ->
+      Mpu.raw_set t reg v;
+      check_int (Mpu.raw_reg_name reg ^ " round-trip") expect
+        (Mpu.raw_get t reg))
+    [
+      (* control registers keep their low byte *)
+      (Mpu.Raw_ctl0, 0xA501, 0x01);
+      (Mpu.Raw_ctl1, 0xFF07, 0x07);
+      (* boundary registers are 12-bit *)
+      (Mpu.Raw_segb1, 0xF123, 0x123);
+      (Mpu.Raw_segb2, 0x1456, 0x456);
+      (* SAM is a full 16-bit nibble array *)
+      (Mpu.Raw_sam, 0x1234, 0x1234);
+    ]
+
+let test_mpu_raw_bypasses_password_and_lock () =
+  (* the MMIO path demands the 0xA5 password and honours the lock; the
+     raw path models a physical upset and must bypass both *)
+  let t = Mpu.create () in
+  Alcotest.(check bool) "mmio write without password rejected" true
+    (Mpu.mmio_write t Mpu.ctl0_addr 0x0001 = Mpu.Bad_password);
+  Alcotest.(check bool) "still disabled" false (Mpu.enabled t);
+  Mpu.raw_set t Mpu.Raw_ctl0 0x0001;
+  Alcotest.(check bool) "raw enable bypasses password" true (Mpu.enabled t);
+  (* lock the unit through MMIO, then flip a boundary raw *)
+  (match Mpu.mmio_write t Mpu.ctl0_addr 0xA503 with
+  | Mpu.Write_ok -> ()
+  | _ -> Alcotest.fail "passworded lock write should succeed");
+  Alcotest.(check bool) "locked" true (Mpu.locked t);
+  Alcotest.(check bool) "mmio boundary write ignored when locked" true
+    (Mpu.mmio_write t Mpu.segb1_addr 0x0AB = Mpu.Locked_ignored);
+  Mpu.raw_set t Mpu.Raw_segb1 0x0AB;
+  check_int "raw boundary write bypasses lock" 0x0AB
+    (Mpu.raw_get t Mpu.Raw_segb1);
+  (* and the raw backdoor is invisible to the machine's trace layer:
+     no Io_write is emitted because no bus access happened *)
+  let m = build_machine [ halt_insn ] in
+  let io = ref 0 in
+  Machine.add_watch m (fun ev ->
+      match ev with Trace.Io_write _ -> incr io | _ -> ());
+  Mpu.raw_set m.Machine.mpu Mpu.Raw_ctl0 0x0001;
+  (match Machine.run m with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "expected halt, got %a" Machine.pp_stop_reason o);
+  Alcotest.(check bool) "halt traced" true (!io >= 1);
+  Alcotest.(check bool) "raw set emitted no extra Io_write" true (!io = 1)
+
 let () =
   Alcotest.run "mcu"
     [
@@ -816,6 +948,18 @@ let () =
           Alcotest.test_case "exec-only" `Quick test_mpu_exec_only_blocks_read;
           Alcotest.test_case "sw fault port" `Quick test_sw_fault_port;
           Alcotest.test_case "stats" `Quick test_stats_counting;
+          Alcotest.test_case "raw round-trip" `Quick test_mpu_raw_roundtrip;
+          Alcotest.test_case "raw bypasses password+lock" `Quick
+            test_mpu_raw_bypasses_password_and_lock;
+        ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "mid-step watch deferred" `Quick
+            test_midstep_watch_starts_next_insn;
+          Alcotest.test_case "step-hook watch sees current insn" `Quick
+            test_step_hook_watch_sees_current_insn;
+          Alcotest.test_case "step hooks compose" `Quick
+            test_step_hooks_compose_in_order;
         ] );
       ( "trace",
         [

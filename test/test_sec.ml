@@ -9,6 +9,7 @@ module Kernel = Amulet_os.Kernel
 module Attacks = Amulet_sec.Attacks
 module Campaign = Amulet_sec.Campaign
 module Inject = Amulet_sec.Inject
+module Proofcheck = Amulet_sec.Proofcheck
 
 let seed = 1234
 
@@ -130,6 +131,57 @@ let test_quick_corpus () =
     Campaign.quick_names
 
 (* ------------------------------------------------------------------ *)
+(* Corpus ⇔ proof crosscheck: every expectation in the attack corpus
+   falls out of the abstract machine as a theorem or as a concretely
+   replayed counterexample — zero mismatches tolerated. *)
+
+let test_crosscheck_total () =
+  List.iter
+    (fun (a : Attacks.t) ->
+      if Proofcheck.scenario_of a = None then
+        Alcotest.failf "%s has no abstract restatement" a.Attacks.atk_name)
+    Attacks.corpus
+
+let test_crosscheck_matrix () =
+  let rows = Proofcheck.run () in
+  Alcotest.(check int) "one row per attack x mode"
+    (4 * List.length Attacks.corpus)
+    (List.length rows);
+  List.iter
+    (fun r ->
+      if not (Proofcheck.row_ok r) then
+        Alcotest.failf "%s" (Format.asprintf "%a" Proofcheck.pp_row r))
+    rows;
+  (* the negative cells really are backed by concrete replays *)
+  let replayed =
+    List.length
+      (List.filter
+         (fun r -> r.Proofcheck.cc_verdict = Proofcheck.V_counterexample)
+         rows)
+  in
+  Alcotest.(check bool) "some counterexamples were replayed" true (replayed > 0)
+
+(* The vector-page hole end-to-end: the Mpu_assisted guard is
+   lower-bound-only and the MPU stops at fram_limit, so a compiled
+   wild write at 0xFF80+ lands — the campaign cell must observe the
+   breach the proof layer predicts (and software-only must guard it). *)
+let test_vector_hole_campaign () =
+  let attack = Attacks.find "src_wild_write_vectors" in
+  let mpu = Campaign.run_cell ~attack ~mode:Iso.Mpu_assisted ~seed in
+  Alcotest.(check bool) "mpu-assisted cell matches (breach expected)" true
+    mpu.Campaign.cl_match;
+  Alcotest.(check bool) "breach recorded above fram_limit" true
+    (mpu.Campaign.cl_breach_count > 0);
+  let sw = Campaign.run_cell ~attack ~mode:Iso.Software_only ~seed in
+  Alcotest.(check bool) "software-only guard catches it" true
+    sw.Campaign.cl_match;
+  match sw.Campaign.cl_observed with
+  | Campaign.O_guard _ -> ()
+  | o ->
+    Alcotest.failf "expected guard under software-only, observed %s"
+      (Campaign.observed_name o)
+
+(* ------------------------------------------------------------------ *)
 (* Injector: seeded schedules reproduce exactly. *)
 
 let test_injector_determinism () =
@@ -182,6 +234,78 @@ let test_injector_plan_reproducible () =
   Alcotest.(check int) "same seed, same flip count" f1 f2;
   Alcotest.(check (list string)) "same seed, same flip log" l1 l2;
   Alcotest.(check bool) "different seed, different schedule" true (l1 <> l3)
+
+let test_injector_mpu_raw_replay () =
+  (* Mpu_config flips go through [Mpu.raw_set] (the password/lock
+     bypass): the same seed must leave the raw register file in the
+     same final state, and the flips must land even when the unit is
+     locked against MMIO writes. *)
+  let module M = Amulet_mcu.Machine in
+  let module Mpu = Amulet_mcu.Mpu in
+  let mk () =
+    let m = M.create () in
+    let words =
+      List.concat_map Amulet_mcu.Encode.encode
+        [
+          (* lock the MPU through the front door, then spin *)
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.MOV,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 0xA502,
+              Amulet_mcu.Opcode.D_absolute Mpu.ctl0_addr );
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.MOV,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 500,
+              Amulet_mcu.Opcode.D_reg 5 );
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.SUB,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 1,
+              Amulet_mcu.Opcode.D_reg 5 );
+          Amulet_mcu.Opcode.Jump (Amulet_mcu.Opcode.JNE, -2);
+          Amulet_mcu.Opcode.Fmt1
+            ( Amulet_mcu.Opcode.MOV,
+              Amulet_mcu.Word.W16,
+              Amulet_mcu.Opcode.S_immediate 1,
+              Amulet_mcu.Opcode.D_absolute M.halt_port );
+        ]
+    in
+    M.load_words m ~addr:0x4400 words;
+    M.set_reset_vector m 0x4400;
+    M.reset m;
+    m
+  in
+  let dump m =
+    List.map
+      (fun r -> Mpu.raw_get m.M.mpu r)
+      [ Mpu.Raw_ctl0; Mpu.Raw_ctl1; Mpu.Raw_segb1; Mpu.Raw_segb2; Mpu.Raw_sam ]
+  in
+  (* control run, no injector: the firmware locks the unit via MMIO *)
+  let clean =
+    let m = mk () in
+    ignore (M.run m);
+    Alcotest.(check bool) "MPU locked by the firmware" true
+      (Mpu.locked m.M.mpu);
+    dump m
+  in
+  let run s =
+    let m = mk () in
+    let inj =
+      Inject.arm (Inject.plan ~seed:s ~flips:6 ~window:(10, 1_000) Inject.Mpu_config) m
+    in
+    ignore (M.run m);
+    (Inject.log inj, dump m)
+  in
+  let l1, d1 = run 77 in
+  let l2, d2 = run 77 in
+  let _, d3 = run 78 in
+  Alcotest.(check bool) "flips were applied" true (l1 <> []);
+  Alcotest.(check bool) "flips landed despite the lock" true (d1 <> clean);
+  Alcotest.(check (list string)) "same seed, same flip log" l1 l2;
+  Alcotest.(check (list int)) "same seed, same raw register file" d1 d2;
+  Alcotest.(check bool) "different seed, different register file" true
+    (d1 <> d3)
 
 (* ------------------------------------------------------------------ *)
 (* Kernel integrity probes used by the campaign and amulet_sim. *)
@@ -243,12 +367,22 @@ let () =
         ] );
       ( "corpus",
         [ Alcotest.test_case "quick subset matches" `Slow test_quick_corpus ] );
+      ( "proof-crosscheck",
+        [
+          Alcotest.test_case "every attack modelled" `Quick
+            test_crosscheck_total;
+          Alcotest.test_case "zero mismatches" `Quick test_crosscheck_matrix;
+          Alcotest.test_case "vector hole end-to-end" `Slow
+            test_vector_hole_campaign;
+        ] );
       ( "injector",
         [
           Alcotest.test_case "campaign row deterministic" `Quick
             test_injector_determinism;
           Alcotest.test_case "plan reproducible" `Quick
             test_injector_plan_reproducible;
+          Alcotest.test_case "mpu raw flips replay" `Quick
+            test_injector_mpu_raw_replay;
         ] );
       ( "kernel-probes",
         [
