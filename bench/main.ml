@@ -222,7 +222,53 @@ let run_observability () =
   Printf.printf "  %-16s %8d cycles\n" "host services"
     r.Amulet_obs.Profile.r_host_cycles;
   Printf.printf "trace: %d JSONL records captured\n"
-    (List.length (Amulet_obs.Summary.of_string (Buffer.contents buf)))
+    (List.length (Amulet_obs.Summary.of_string (Buffer.contents buf)));
+  (* 4. statistical telemetry: Agg sink + profiler, which also arms the
+     per-dispatch profile-counter emission (energy attribution).  All
+     of it is host-side: same cycle count, byte-identical profiler
+     report. *)
+  let module Agg = Amulet_obs.Agg in
+  let module Profile = Amulet_obs.Profile in
+  let obs4 = Obs.create () in
+  let agg = Agg.create () in
+  Obs.add_sink obs4 (Agg.sink agg);
+  let fw4 =
+    Aft.build ~mode:Iso.Mpu_assisted [ Apps.spec_for Iso.Mpu_assisted app ]
+  in
+  Obs.enable_profile obs4 fw4;
+  let k4 = Os.Kernel.create ~scenario:Os.Sensors.Walking ~obs:obs4 fw4 in
+  let _ = Os.Kernel.run_for_ms k4 (seconds * 1000) in
+  let telemetry = Amulet_mcu.Machine.cycles k4.Os.Kernel.machine in
+  Obs.close obs4;
+  if telemetry <> bare then
+    failwith
+      (Printf.sprintf "telemetry is not free: %d cycles bare vs %d aggregated"
+         bare telemetry);
+  let report_of obs k =
+    match Obs.profile obs with
+    | Some p ->
+      Format.asprintf "%a" Profile.pp_report
+        (Profile.report p ~machine:k.Os.Kernel.machine)
+    | None -> failwith "no profiler"
+  in
+  if not (String.equal (report_of obs k) (report_of obs4 k4)) then
+    failwith "agg sink perturbed the profiler report";
+  if Agg.spans agg = [] then failwith "agg sink saw no dispatch spans";
+  (match Agg.counter agg (Profile.counter_name Profile.App_code) with
+  | Some c ->
+    let p4 =
+      match Obs.profile obs4 with Some p -> p | None -> assert false
+    in
+    let total = List.assoc Profile.App_code (Profile.totals p4) in
+    if c.Agg.c_last <> total then
+      failwith
+        (Printf.sprintf "energy counter drifted: last %d <> profiler %d"
+           c.Agg.c_last total)
+  | None -> failwith "no per-class energy counters in the trace");
+  Printf.printf
+    "agg sink + energy counters armed: %d cycles (identical), profiler\n\
+     report byte-identical, %d records aggregated (asserted)\n"
+    telemetry (Agg.records agg)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injector: zero cost when armed with an empty schedule *)
@@ -297,101 +343,13 @@ let snapshot_path = "BENCH_gateheavy.json"
 
 let run_gateheavy_snapshot () =
   section ("Perf snapshot: gateheavy microbench -> " ^ snapshot_path);
-  let module J = Amulet_obs.Json in
-  let module Aft = Amulet_aft.Aft in
-  let module Os = Amulet_os in
-  let module Apps = Amulet_apps.Suite in
-  (* host throughput: simulated cycles per wall second dispatching the
-     gateheavy button handler back-to-back under the full kernel, per
-     isolation mode (gateheavy is event-driven: [run_for_ms] alone
-     would idle, so drive the dispatch loop explicitly) *)
-  let dispatches = if quick then 500 else 5_000 in
-  let throughput mode =
-    let fw = Aft.build ~mode [ Apps.spec_for mode Apps.gateheavy ] in
-    let k = Os.Kernel.create ~scenario:Os.Sensors.Walking fw in
-    let _ = Os.Kernel.run_for_ms k 5 in
-    let t0 = Sys.time () in
-    let c0 = Amulet_mcu.Machine.cycles k.Os.Kernel.machine in
-    for _ = 1 to dispatches do
-      Os.Kernel.post k ~delay_ms:0 ~app:0 (Os.Event.Button 1) ~arg:1;
-      ignore (Os.Kernel.dispatch_next k)
-    done;
-    let host_s = max (Sys.time () -. t0) 1e-9 in
-    let cycles = Amulet_mcu.Machine.cycles k.Os.Kernel.machine - c0 in
-    (cycles, host_s, float_of_int cycles /. host_s)
-  in
-  let speeds = List.map (fun m -> (m, throughput m)) Iso.all in
-  Printf.printf "%-18s %14s %12s %16s\n" "Method" "sim cycles" "host s"
-    "cycles/sec";
-  List.iter
-    (fun (m, (cycles, host_s, rate)) ->
-      Printf.printf "%-18s %14d %12.3f %16.0f\n" (mode_label m) cycles host_s
-        rate)
-    speeds;
-  (* deterministic gate costs: context-switch cycles per mode (Table 1)
-     and the gate-pointer certification ablation on gateheavy itself *)
-  let runs = if quick then 10 else 50 in
-  let t1 = Ex.table1 ~runs () in
-  let cert = Ex.ablation_gate_cert ~runs () in
-  List.iter
-    (fun (r : Ex.gate_cert_row) ->
-      Printf.printf
-        "%-18s handler %.0f cyc dynamic, %.0f certified (%.1f cyc/gate)\n"
-        (mode_label r.Ex.gc_mode) r.Ex.gc_dynamic r.Ex.gc_certified
-        r.Ex.gc_per_gate)
-    cert;
-  let doc =
-    J.Obj
-      [
-        ("bench", J.Str "gateheavy");
-        ("schema", J.Int 1);
-        ("quick", J.Bool quick);
-        ("dispatches", J.Int dispatches);
-        ( "simulator",
-          J.Arr
-            (List.map
-               (fun (m, (cycles, host_s, rate)) ->
-                 J.Obj
-                   [
-                     ("mode", J.Str (mode_label m));
-                     ("sim_cycles", J.Int cycles);
-                     ("host_seconds", J.Float host_s);
-                     ("cycles_per_sec", J.Float rate);
-                   ])
-               speeds) );
-        ( "gate_costs",
-          J.Obj
-            [
-              ( "context_switch_cycles",
-                J.Obj
-                  (List.map
-                     (fun (r : Ex.table1_row) ->
-                       (mode_label r.Ex.t1_mode, J.Float r.Ex.t1_ctx_switch))
-                     t1) );
-              ( "gate_cert",
-                J.Arr
-                  (List.map
-                     (fun (r : Ex.gate_cert_row) ->
-                       J.Obj
-                         [
-                           ("mode", J.Str (mode_label r.Ex.gc_mode));
-                           ("dynamic_cycles", J.Float r.Ex.gc_dynamic);
-                           ("certified_cycles", J.Float r.Ex.gc_certified);
-                           ("per_gate_cycles", J.Float r.Ex.gc_per_gate);
-                           ( "services",
-                             J.Arr
-                               (List.map (fun s -> J.Str s) r.Ex.gc_services)
-                           );
-                         ])
-                     cert) );
-            ] );
-      ]
-  in
-  let oc = open_out snapshot_path in
-  output_string oc (J.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "snapshot written to %s\n" snapshot_path
+  let module Runner = Amulet_bench_core.Runner in
+  let module Schema = Amulet_bench_core.Schema in
+  let doc, _runs = Runner.run ~quick () in
+  Format.printf "%a@?" Runner.pp_doc doc;
+  Schema.write_file snapshot_path doc;
+  Printf.printf "snapshot written to %s (schema %d)\n" snapshot_path
+    doc.Schema.d_schema
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator substrate *)

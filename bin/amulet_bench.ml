@@ -1,0 +1,193 @@
+(* amulet_bench — statistical gateheavy benchmark runner.
+
+   Runs the per-mode benchmark with warmup + N trials, prints the
+   median/MAD table with dispatch-latency percentiles and energy per
+   dispatch, optionally writes a schema-v2 BENCH_*.json snapshot, and
+   optionally compares against a baseline snapshot (schema 1 or 2)
+   with noise-aware thresholds, exiting non-zero on regression. *)
+
+module Iso = Amulet_cc.Isolation
+module Schema = Amulet_bench_core.Schema
+module Runner = Amulet_bench_core.Runner
+open Cmdliner
+
+let read_baseline path =
+  match Schema.read_file path with
+  | Ok doc -> doc
+  | Error msg ->
+      Format.eprintf "amulet_bench: cannot read %s: %s@." path msg;
+      exit 2
+
+let compare_and_report ~current ~baseline ~threshold ~rate_threshold =
+  let verdicts =
+    Schema.compare_docs ~current ~baseline ~det_threshold_pct:threshold
+      ~rate_threshold_pct:rate_threshold
+  in
+  Format.printf "%a" Schema.pp_verdicts verdicts;
+  if Schema.regressed verdicts then begin
+    Format.printf "REGRESSION: at least one gated metric exceeded %.1f%%@."
+      threshold;
+    true
+  end
+  else begin
+    Format.printf "no regression (deterministic threshold %.1f%%%s)@."
+      threshold
+      (match rate_threshold with
+      | Some r -> Format.asprintf ", rate threshold %.1f%%" r
+      | None -> ", throughput informational");
+    false
+  end
+
+let parse_modes = function
+  | [] -> Ok Iso.all
+  | names ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Iso.of_string n with
+            | Some m -> go (m :: acc) rest
+            | None -> Error n)
+      in
+      go [] names
+
+let run_cmd quick trials dispatches warmup modes out compare threshold
+    rate_threshold =
+  match parse_modes modes with
+  | Error bad ->
+      Format.eprintf "amulet_bench: unknown mode %S (known: %s)@." bad
+        (String.concat ", " (List.map Iso.name Iso.all));
+      exit 2
+  | Ok modes ->
+      let doc, _runs =
+        Runner.run ~modes ?trials ?dispatches ?warmup ~quick ()
+      in
+      Format.printf "%a" Runner.pp_doc doc;
+      (match out with
+      | Some path ->
+          Schema.write_file path doc;
+          Format.printf "wrote %s (schema %d)@." path doc.Schema.d_schema
+      | None -> ());
+      let regressed =
+        match compare with
+        | None -> false
+        | Some path ->
+            let baseline = read_baseline path in
+            Format.printf "@.compare vs %s (schema %d):@." path
+              baseline.Schema.d_schema;
+            compare_and_report ~current:doc ~baseline ~threshold
+              ~rate_threshold
+      in
+      if regressed then exit 1
+
+let diff_cmd new_path base_path threshold rate_threshold =
+  let current = read_baseline new_path in
+  let baseline = read_baseline base_path in
+  if
+    compare_and_report ~current ~baseline ~threshold ~rate_threshold
+  then exit 1
+
+(* options *)
+
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Quick run: 3 trials x 300 dispatches per mode.")
+
+let trials =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "trials" ] ~docv:"N" ~doc:"Trials per mode (override).")
+
+let dispatches =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dispatches" ] ~docv:"N" ~doc:"Dispatches per trial (override).")
+
+let warmup =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "warmup" ] ~docv:"N" ~doc:"Warmup dispatches before measuring.")
+
+let modes =
+  Arg.(
+    value & opt_all string []
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Isolation mode to benchmark (repeatable; default all).")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the schema-v2 snapshot JSON to $(docv).")
+
+let compare_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare" ] ~docv:"BASELINE"
+        ~doc:
+          "Compare against a baseline BENCH_*.json (schema 1 or 2); exit 1 \
+           on regression.")
+
+let threshold =
+  Arg.(
+    value & opt float 10.0
+    & info [ "threshold" ] ~docv:"PCT"
+        ~doc:
+          "Gating threshold for deterministic simulated metrics \
+           (cycles/dispatch, latency p99, energy, gate costs).")
+
+let rate_threshold =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate-threshold" ] ~docv:"PCT"
+        ~doc:
+          "Also gate host throughput at $(docv) percent; a drop must \
+           additionally exceed 3 robust sigmas of trial noise to count. \
+           Without this flag throughput rows are informational.")
+
+let run_term =
+  Term.(
+    const run_cmd $ quick $ trials $ dispatches $ warmup $ modes $ out
+    $ compare_opt $ threshold $ rate_threshold)
+
+let run_info =
+  Cmd.info "run"
+    ~doc:"Run the statistical gateheavy benchmark (default command)."
+
+let diff_term =
+  let new_path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Current snapshot JSON.")
+  in
+  let base_path =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline snapshot JSON (schema 1 or 2).")
+  in
+  Term.(const diff_cmd $ new_path $ base_path $ threshold $ rate_threshold)
+
+let diff_info =
+  Cmd.info "diff"
+    ~doc:"Compare two existing snapshots without running the benchmark."
+
+let () =
+  let default = run_term in
+  let info =
+    Cmd.info "amulet_bench" ~version:"%%VERSION%%"
+      ~doc:
+        "Statistical benchmark runner with schema-v2 snapshots and \
+         noise-aware regression gating."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ Cmd.v run_info run_term; Cmd.v diff_info diff_term ]))

@@ -1,25 +1,33 @@
 (* amulet_prof: read a trace written by `amulet_sim --trace` (Chrome
-   trace_event JSON or JSONL) and print an aggregated report: span
-   statistics, counter maxima, API instant counts and faults. *)
+   trace_event JSON or JSONL) and print reports:
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+     report  — span statistics (count/total/avg/p50/p99/max), counter
+               maxima/percentiles, instant counts, faults
+     energy  — cycle-exact energy attribution per PC class, recovered
+               from the profile.<class>.cycles counters the kernel
+               publishes at every dispatch boundary, with a weekly
+               battery-impact extrapolation
 
-let report_cmd file =
+   JSONL traces stream through the aggregator line by line, so
+   arbitrarily long runs are summarised in constant memory. *)
+
+module Summary = Amulet_obs.Summary
+module Agg = Amulet_obs.Agg
+module Profile = Amulet_obs.Profile
+module Energy = Amulet_arp.Energy
+
+let with_trace file f =
   try
-    let records = Amulet_obs.Summary.of_string (read_file file) in
-    if records = [] then begin
+    let ic = open_in_bin file in
+    let agg =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          Summary.agg_of_channel ic)
+    in
+    if Agg.records agg = 0 then begin
       Format.eprintf "%s: no trace records found@." file;
       1
     end
-    else begin
-      Format.printf "%a" Amulet_obs.Summary.pp_report records;
-      0
-    end
+    else f agg
   with
   | Sys_error msg ->
     Format.eprintf "%s@." msg;
@@ -27,6 +35,72 @@ let report_cmd file =
   | Amulet_obs.Json.Parse_error msg ->
     Format.eprintf "%s: malformed trace: %s@." file msg;
     1
+
+let report_cmd file =
+  with_trace file (fun agg ->
+      Format.printf "%a" Summary.pp_agg agg;
+      0)
+
+(* Final value of each profile.<class>.cycles counter = the class's
+   cumulative cycle total at the last dispatch of the trace. *)
+let class_cycles agg =
+  List.filter_map
+    (fun c ->
+      Option.map
+        (fun cnt -> (c, cnt.Agg.c_last))
+        (Agg.counter agg (Profile.counter_name c)))
+    Profile.categories
+
+let energy_cmd file =
+  with_trace file (fun agg ->
+      match class_cycles agg with
+      | [] ->
+        Format.eprintf
+          "%s: no profile.<class>.cycles counters — record the trace with \
+           `amulet_sim --profile --trace ...`@."
+          file;
+        1
+      | cats ->
+        let total_cycles = List.fold_left (fun a (_, c) -> a + c) 0 cats in
+        let energies = Energy.per_category cats in
+        Format.printf "energy attribution (%d attributed cycles, %.1f ms at \
+                       %.0f MHz):@."
+          total_cycles
+          (float_of_int total_cycles /. Energy.clock_hz *. 1e3)
+          (Energy.clock_hz /. 1e6);
+        let joules_str j = Format.asprintf "%a" Energy.pp_joules j in
+        List.iter
+          (fun ((cat, cycles), (_, joules)) ->
+            Format.printf "  %-14s %12d cycles  %12s  (%5.1f %%)@."
+              (Profile.category_name cat)
+              cycles (joules_str joules)
+              (if total_cycles = 0 then 0.0
+               else 100.0 *. float_of_int cycles /. float_of_int total_cycles))
+          (List.combine cats energies);
+        let overhead_j = Energy.isolation_overhead_joules cats in
+        let overhead_cycles =
+          List.fold_left
+            (fun acc (c, cycles) ->
+              if List.mem c Energy.overhead_categories then acc + cycles
+              else acc)
+            0 cats
+        in
+        Format.printf "  %-14s %12d cycles  %12s  (isolation overhead)@."
+          "guards+gates+MPU" overhead_cycles (joules_str overhead_j);
+        (* extrapolate the overhead share to a week of wall time *)
+        (match Agg.time_range agg with
+        | Some (lo, hi) when hi > lo ->
+          let elapsed = float_of_int (hi - lo) in
+          let per_week =
+            float_of_int overhead_cycles *. Energy.cycles_per_week /. elapsed
+          in
+          Format.printf
+            "projected isolation overhead: %.3f Gcycles/week, battery impact \
+             %.4f %% (paper bound: < 0.5 %%)@."
+            (per_week /. 1e9)
+            (Energy.battery_impact_percent ~overhead_cycles_per_week:per_week)
+        | _ -> ());
+        0)
 
 open Cmdliner
 
@@ -40,8 +114,12 @@ let report =
   let doc = "aggregate a trace into per-span/counter statistics" in
   Cmd.v (Cmd.info "report" ~doc) Term.(const report_cmd $ file_arg)
 
+let energy =
+  let doc = "attribute energy to PC classes from a profiled trace" in
+  Cmd.v (Cmd.info "energy" ~doc) Term.(const energy_cmd $ file_arg)
+
 let cmd =
   let doc = "inspect amulet_sim execution traces" in
-  Cmd.group (Cmd.info "amulet_prof" ~doc) [ report ]
+  Cmd.group (Cmd.info "amulet_prof" ~doc) [ report; energy ]
 
 let () = exit (Cmd.eval' cmd)

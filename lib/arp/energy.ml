@@ -13,3 +13,37 @@ let overhead_joules ~cycles = cycles *. joules_per_cycle
 let battery_impact_percent ~overhead_cycles_per_week =
   overhead_joules ~cycles:overhead_cycles_per_week
   /. weekly_energy_budget_joules *. 100.0
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-exact attribution: every simulated cycle the profiler
+   assigns to a PC class carries the same per-cycle active energy, so
+   the class split of cycles IS the class split of energy. *)
+
+module Profile = Amulet_obs.Profile
+
+let joules_of_cycles cycles = float_of_int cycles *. joules_per_cycle
+
+let per_category cats =
+  List.map (fun (c, cycles) -> (c, joules_of_cycles cycles)) cats
+
+(* The classes that exist only because of isolation; app code and the
+   kernel dispatch machinery run under every mode including
+   no-isolation. *)
+let overhead_categories = [ Profile.Guard; Profile.Os_gate; Profile.Mpu_config ]
+
+let isolation_overhead_joules cats =
+  List.fold_left
+    (fun acc (c, cycles) ->
+      if List.mem c overhead_categories then acc +. joules_of_cycles cycles
+      else acc)
+    0.0 cats
+
+let cycles_per_week = clock_hz *. 3600.0 *. 24.0 *. 7.0
+
+let pp_joules ppf j =
+  let a = Float.abs j in
+  if a >= 1.0 then Format.fprintf ppf "%.3f J" j
+  else if a >= 1e-3 then Format.fprintf ppf "%.3f mJ" (j *. 1e3)
+  else if a >= 1e-6 then Format.fprintf ppf "%.3f uJ" (j *. 1e6)
+  else if a >= 1e-9 then Format.fprintf ppf "%.3f nJ" (j *. 1e9)
+  else Format.fprintf ppf "%.3f pJ" (j *. 1e12)

@@ -21,3 +21,33 @@ val overhead_joules : cycles:float -> float
 val battery_impact_percent : overhead_cycles_per_week:float -> float
 (** Share of the weekly energy budget consumed by isolation overhead,
     as a percentage (the paper reports < 0.5 % for all apps). *)
+
+(** {1 Cycle-exact per-class attribution}
+
+    Built on the {!Amulet_obs.Profile} PC classification: each
+    executed cycle belongs to exactly one class, so converting the
+    class cycle split with the platform's per-cycle active energy
+    attributes every joule to app code, bounds guards, OS gates, MPU
+    reconfiguration or the kernel. *)
+
+val joules_of_cycles : int -> float
+
+val per_category :
+  (Amulet_obs.Profile.category * int) list ->
+  (Amulet_obs.Profile.category * float) list
+(** Map a profiler cycle breakdown to joules per class. *)
+
+val overhead_categories : Amulet_obs.Profile.category list
+(** The classes that exist only because of isolation: bounds guards,
+    OS gate crossings and MPU reconfiguration. *)
+
+val isolation_overhead_joules :
+  (Amulet_obs.Profile.category * int) list -> float
+(** Energy spent in {!overhead_categories}. *)
+
+val cycles_per_week : float
+(** Cycles executed in one week at {!clock_hz} — the extrapolation
+    factor for battery-impact projections from finite traces. *)
+
+val pp_joules : Format.formatter -> float -> unit
+(** Engineering notation: J / mJ / uJ / nJ / pJ. *)

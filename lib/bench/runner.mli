@@ -1,0 +1,49 @@
+(** The statistical gateheavy benchmark: the measurement core behind
+    [bin/amulet_bench] and [bench/main.exe]'s snapshot mode.
+
+    Per isolation mode it drives the gateheavy app's button handler
+    back-to-back under the full kernel with an {!Amulet_obs.Agg} sink
+    and the cycle profiler armed, measuring host throughput over N
+    independent trials after a warmup, and collecting dispatch-latency
+    and handler-duration histograms plus the per-PC-class cycle split
+    that yields cycle-exact energy attribution. *)
+
+module Iso := Amulet_cc.Isolation
+module Hist := Amulet_obs.Hist
+
+type mode_run = {
+  mr_mode : Iso.mode;
+  mr_rates : float array;  (** cycles/sec, one per trial *)
+  mr_trial_cycles : int array;  (** simulated cycles per trial *)
+  mr_latency : Hist.t;  (** dispatch-latency cycles *)
+  mr_handler : Hist.t;  (** handler span durations *)
+  mr_class_cycles : (string * int) list;
+      (** profiler-class slug (plus [host_services]) -> cycles over
+          the measured window *)
+  mr_measured_dispatches : int;  (** trials × dispatches *)
+}
+
+val run_mode :
+  ?warmup:int -> trials:int -> dispatches:int -> Iso.mode -> mode_run
+
+val host_meta : unit -> (string * string) list
+(** OCaml version, OS, word size, hostname when known. *)
+
+val run :
+  ?modes:Iso.mode list ->
+  ?trials:int ->
+  ?dispatches:int ->
+  ?warmup:int ->
+  ?gate_runs:int ->
+  quick:bool ->
+  unit ->
+  Schema.doc * mode_run list
+(** Full run: every mode plus the deterministic gate costs
+    (context-switch cycles and the gate-certification ablation).
+    Unspecified parameters default per [quick]:
+    quick = 3 trials × 300 dispatches, full = 5 × 1500. *)
+
+val pp_doc : Format.formatter -> Schema.doc -> unit
+(** Human-readable per-mode table (throughput median ± MAD,
+    cycles/dispatch, latency p50/p99, energy per dispatch) and the
+    gate costs. *)

@@ -1,0 +1,38 @@
+type summary = {
+  n : int;
+  median : float;
+  mad : float;
+  mean : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  end
+
+let mad xs =
+  if Array.length xs = 0 then 0.0
+  else
+    let m = median xs in
+    median (Array.map (fun x -> Float.abs (x -. m)) xs)
+
+let robust_sigma xs = 1.4826 *. mad xs
+
+let summarize xs =
+  let n = Array.length xs in
+  let m = median xs in
+  let d = mad xs in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+  in
+  let half =
+    if n <= 1 then 0.0
+    else 1.96 *. 1.4826 *. d /. sqrt (float_of_int n)
+  in
+  { n; median = m; mad = d; mean; ci_lo = m -. half; ci_hi = m +. half }

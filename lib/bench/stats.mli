@@ -1,0 +1,30 @@
+(** Robust statistics for noisy host-time measurements.
+
+    Throughput trials on a shared machine are contaminated by
+    scheduler noise with a heavy right tail, so central tendency uses
+    the median and dispersion the median absolute deviation (MAD) —
+    both insensitive to a minority of outliers — rather than
+    mean/stddev.  The confidence interval is the usual normal
+    approximation of the median's sampling error with the MAD-derived
+    robust sigma ([1.4826 * mad]). *)
+
+type summary = {
+  n : int;
+  median : float;
+  mad : float;  (** median absolute deviation from the median *)
+  mean : float;
+  ci_lo : float;  (** approximate 95 % CI on the median *)
+  ci_hi : float;
+}
+
+val median : float array -> float
+(** 0 on the empty array; the midpoint average on even sizes.
+    Does not mutate its argument. *)
+
+val mad : float array -> float
+
+val robust_sigma : float array -> float
+(** [1.4826 * mad] — consistent with the standard deviation under
+    normality. *)
+
+val summarize : float array -> summary

@@ -1,0 +1,180 @@
+(* Log-linear (HDR-style) histogram.  Bucket layout:
+     [0, 64)                unit-width buckets, index = value
+     [2^k, 2^(k+1)), k >= 6 32 sub-buckets of width 2^(k-5)
+   so bucket widths never exceed 1/32 of the bucket's lower bound and
+   quantiles carry at most that relative error.  Counts live in a
+   growable int array indexed by bucket; merge is bucket-wise sum. *)
+
+let sub_bits = 5
+let subbuckets = 1 lsl sub_bits (* 32 *)
+let linear_limit = 2 * subbuckets (* 64 *)
+
+type t = {
+  mutable buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = [||]; count = 0; sum = 0; min_v = max_int; max_v = min_int }
+
+let msb v =
+  let rec go v k = if v <= 1 then k else go (v lsr 1) (k + 1) in
+  go v 0
+
+let index_of v =
+  if v < linear_limit then v
+  else
+    let k = msb v in
+    linear_limit + ((k - 6) * subbuckets) + ((v lsr (k - sub_bits)) - subbuckets)
+
+(* [lo, hi) covered by bucket [i], and the midpoint used for quantiles *)
+let bucket_bounds i =
+  if i < linear_limit then (i, i + 1)
+  else
+    let c = (i - linear_limit) / subbuckets in
+    let s = (i - linear_limit) mod subbuckets in
+    let k = c + 6 in
+    let w = 1 lsl (k - sub_bits) in
+    let lo = (1 lsl k) + (s * w) in
+    (lo, lo + w)
+
+let bucket_mid i =
+  let lo, hi = bucket_bounds i in
+  lo + ((hi - 1 - lo) / 2)
+
+let ensure t i =
+  let n = Array.length t.buckets in
+  if i >= n then begin
+    let n' = max (i + 1) (max 64 (2 * n)) in
+    let b = Array.make n' 0 in
+    Array.blit t.buckets 0 b 0 n;
+    t.buckets <- b
+  end
+
+let record_n t v ~n =
+  if n > 0 then begin
+    let v = max 0 v in
+    let i = index_of v in
+    ensure t i;
+    t.buckets.(i) <- t.buckets.(i) + n;
+    t.count <- t.count + n;
+    t.sum <- t.sum + (n * v);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v ~n:1
+
+let is_empty t = t.count = 0
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = if t.count = 0 then 0 else t.max_v
+
+let mean t =
+  if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let i = ref 0 and cum = ref 0 in
+    let n = Array.length t.buckets in
+    while !cum < rank && !i < n do
+      cum := !cum + t.buckets.(!i);
+      incr i
+    done;
+    (* !i - 1 is the bucket where the rank-th sample falls *)
+    let v = bucket_mid (max 0 (!i - 1)) in
+    min t.max_v (max t.min_v v)
+  end
+
+let merge a b =
+  let n = max (Array.length a.buckets) (Array.length b.buckets) in
+  let get arr i = if i < Array.length arr then arr.(i) else 0 in
+  {
+    buckets = Array.init n (fun i -> get a.buckets i + get b.buckets i);
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    min_v = min a.min_v b.min_v;
+    max_v = max a.max_v b.max_v;
+  }
+
+let equal a b =
+  let n = max (Array.length a.buckets) (Array.length b.buckets) in
+  let get arr i = if i < Array.length arr then arr.(i) else 0 in
+  let rec same i = i >= n || (get a.buckets i = get b.buckets i && same (i + 1)) in
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && same 0
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let to_json t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i n -> if n > 0 then pairs := Json.Arr [ Json.Int i; Json.Int n ] :: !pairs)
+    t.buckets;
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("buckets", Json.Arr (List.rev !pairs));
+    ]
+
+let of_json j =
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  match (int "count", int "sum", int "min", int "max", Json.member "buckets" j)
+  with
+  | Some count, Some sum, Some min_v, Some max_v, Some (Json.Arr pairs) ->
+    let t = create () in
+    let ok =
+      List.for_all
+        (function
+          | Json.Arr [ i; n ] -> (
+            match (Json.to_int i, Json.to_int n) with
+            | Some i, Some n when i >= 0 && n >= 0 ->
+              ensure t i;
+              t.buckets.(i) <- t.buckets.(i) + n;
+              true
+            | _ -> false)
+          | _ -> false)
+        pairs
+    in
+    if not ok then None
+    else begin
+      t.count <- count;
+      t.sum <- sum;
+      if count > 0 then begin
+        t.min_v <- min_v;
+        t.max_v <- max_v
+      end;
+      Some t
+    end
+  | _ -> None
+
+let summary_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("mean", Json.Float (mean t));
+      ("p50", Json.Int (quantile t 0.5));
+      ("p90", Json.Int (quantile t 0.9));
+      ("p99", Json.Int (quantile t 0.99));
+    ]
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f p50=%d p99=%d max=%d" t.count (mean t)
+      (quantile t 0.5) (quantile t 0.99) (max_value t)

@@ -214,6 +214,20 @@ let instant t ?(cat = "") ?(tid = 0) ?(args = []) ~name ~ts () =
 
 let counter t ~name ~ts value = emit t (Counter { name; ts; value })
 
+(* Publish the profiler's cumulative per-category cycle totals as
+   counters, so energy attribution can be recovered from any trace.
+   A no-op without a profiler, and sinkless emission costs nothing —
+   the zero-overhead-when-off bench assertions cover both. *)
+let emit_profile_counters t ~ts =
+  match t.prof with
+  | None -> ()
+  | Some p ->
+    if t.sinks <> [] then
+      List.iter
+        (fun (c, cycles) ->
+          counter t ~name:(Profile.counter_name c) ~ts cycles)
+        (Profile.totals p)
+
 let attach t machine =
   let prev = machine.M.on_event in
   machine.M.on_event <-

@@ -96,6 +96,11 @@ val instant :
 
 val counter : t -> name:string -> ts:int -> int -> unit
 
+val emit_profile_counters : t -> ts:int -> unit
+(** Emit one counter per profiler category
+    ({!Profile.counter_name}) carrying its cumulative cycle total.
+    No-op when no profiler is enabled or no sink is attached. *)
+
 val attach : t -> Amulet_mcu.Machine.t -> unit
 (** Install (composing with any existing hook) a machine event hook
     that records every event into the forensics ring and feeds the

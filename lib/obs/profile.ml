@@ -14,6 +14,18 @@ let category_name = function
   | Mpu_config -> "MPU reconfig"
   | Kernel -> "kernel"
 
+let category_slug = function
+  | App_code -> "app_code"
+  | Guard -> "guard"
+  | Os_gate -> "os_gate"
+  | Mpu_config -> "mpu_config"
+  | Kernel -> "kernel"
+
+let category_of_slug s =
+  List.find_opt (fun c -> category_slug c = s) categories
+
+let counter_name c = "profile." ^ category_slug c ^ ".cycles"
+
 let cat_index = function
   | App_code -> 0
   | Guard -> 1
@@ -157,6 +169,8 @@ type report = {
 }
 
 let cats_of arr = List.map (fun c -> (c, arr.(cat_index c))) categories
+
+let totals t = cats_of t.by_cat
 
 let report t ~machine =
   let apps =

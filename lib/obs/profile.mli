@@ -14,6 +14,16 @@ type category = App_code | Guard | Os_gate | Mpu_config | Kernel
 val categories : category list
 val category_name : category -> string
 
+val category_slug : category -> string
+(** Stable machine-readable name ([app_code], [guard], [os_gate],
+    [mpu_config], [kernel]) used in counter names and JSON schemas. *)
+
+val category_of_slug : string -> category option
+
+val counter_name : category -> string
+(** [profile.<slug>.cycles] — the counter {!Obs.emit_profile_counters}
+    publishes the category's cumulative cycle total under. *)
+
 type t
 
 val create : Amulet_aft.Aft.firmware -> t
@@ -29,6 +39,9 @@ val set_context : t -> app:string -> handler:string -> unit
     scope); cleared with {!clear_context}. *)
 
 val clear_context : t -> unit
+
+val totals : t -> (category * int) list
+(** Cumulative attributed cycles per category so far. *)
 
 type app_report = {
   ar_app : string;

@@ -27,100 +27,111 @@ let of_string text =
   else jsonl ()
 
 (* ------------------------------------------------------------------ *)
-(* Aggregation *)
+(* Aggregation: everything flows through Agg/Hist, so the only state
+   proportional to trace length is the histogram buckets. *)
 
-type span_agg = {
-  mutable s_count : int;
-  mutable s_total : int;
-  mutable s_max : int;
-}
+let aggregate records =
+  let agg = Agg.create () in
+  List.iter (Agg.add agg) records;
+  agg
 
-let pp_report ppf records =
-  let spans : (string * string, span_agg) Hashtbl.t = Hashtbl.create 16 in
-  let counters : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
-  (* name -> (max, last) *)
-  let instants : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
-  let faults = ref [] in
-  let t_min = ref max_int and t_max = ref min_int in
-  List.iter
-    (fun r ->
-      let ts = Obs.record_ts r in
-      if ts < !t_min then t_min := ts;
-      if ts > !t_max then t_max := ts;
-      match r with
-      | Obs.Span { name; cat; dur; ts; _ } ->
-        if ts + dur > !t_max then t_max := ts + dur;
-        let key = (cat, name) in
-        let agg =
-          match Hashtbl.find_opt spans key with
-          | Some a -> a
-          | None ->
-            let a = { s_count = 0; s_total = 0; s_max = 0 } in
-            Hashtbl.add spans key a;
-            a
-        in
-        agg.s_count <- agg.s_count + 1;
-        agg.s_total <- agg.s_total + dur;
-        if dur > agg.s_max then agg.s_max <- dur
-      | Obs.Counter { name; value; _ } ->
-        let mx, _ =
-          Option.value ~default:(min_int, 0) (Hashtbl.find_opt counters name)
-        in
-        Hashtbl.replace counters name (max mx value, value)
-      | Obs.Instant { name; cat; args; _ } ->
-        let key = (cat, name) in
-        Hashtbl.replace instants key
-          (1 + Option.value ~default:0 (Hashtbl.find_opt instants key));
-        if name = "fault" then
-          faults :=
-            (ts,
-             Option.value ~default:"(no message)"
-               (Obs.str_arg r "message"))
-            :: !faults;
-        ignore args)
-    records;
-  Format.fprintf ppf "%d records" (List.length records);
-  if records <> [] then
-    Format.fprintf ppf ", cycles %d..%d (%d elapsed)" !t_min !t_max
-      (!t_max - !t_min);
-  Format.fprintf ppf "@.";
-  let sorted_spans =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans []
-    |> List.sort (fun (_, a) (_, b) -> compare b.s_total a.s_total)
-  in
-  if sorted_spans <> [] then begin
-    Format.fprintf ppf "@.spans (by total cycles):@.";
-    Format.fprintf ppf "  %-12s %-24s %8s %12s %10s %10s@." "category" "name"
-      "count" "total" "avg" "max";
-    List.iter
-      (fun ((cat, name), a) ->
-        Format.fprintf ppf "  %-12s %-24s %8d %12d %10.1f %10d@." cat name
-          a.s_count a.s_total
-          (float_of_int a.s_total /. float_of_int (max 1 a.s_count))
-          a.s_max)
-      sorted_spans
+(* Streaming reader.  A JSONL trace is folded record by record; only
+   when the first line is not a self-contained record (Chrome format:
+   one document, possibly pretty-printed over many lines) is the whole
+   input slurped and parsed as a single value. *)
+let agg_of_channel ic =
+  let agg = Agg.create () in
+  let leftover = Buffer.create 256 in
+  let streamed = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       let trimmed = String.trim line in
+       if trimmed <> "" then begin
+         match Json.parse trimmed with
+         | j -> (
+           match Obs.record_of_json j with
+           | Some r ->
+             incr streamed;
+             Agg.add agg r
+           | None ->
+             (* a parseable line that is not a record: part of a
+                Chrome document — stop streaming and slurp the rest *)
+             Buffer.add_string leftover line;
+             Buffer.add_char leftover '\n';
+             raise Exit)
+         | exception Json.Parse_error _ ->
+           Buffer.add_string leftover line;
+           Buffer.add_char leftover '\n';
+           raise Exit
+       end
+     done
+   with
+  | End_of_file -> ()
+  | Exit -> (
+    try
+      while true do
+        Buffer.add_channel leftover ic 4096
+      done
+    with End_of_file -> ()));
+  if Buffer.length leftover > 0 then begin
+    if !streamed > 0 then
+      (* mixed input: JSONL records followed by garbage *)
+      raise (Json.Parse_error "trailing non-record data in JSONL trace");
+    List.iter (Agg.add agg) (of_string (Buffer.contents leftover))
   end;
-  let sorted_counters =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []
-    |> List.sort compare
+  agg
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let pp_agg ppf agg =
+  Format.fprintf ppf "%d records" (Agg.records agg);
+  (match Agg.time_range agg with
+  | Some (lo, hi) ->
+    Format.fprintf ppf ", cycles %d..%d (%d elapsed)" lo hi (hi - lo)
+  | None -> ());
+  Format.fprintf ppf "@.";
+  let spans =
+    Agg.spans agg
+    |> List.sort (fun (_, a) (_, b) -> compare (Hist.sum b) (Hist.sum a))
   in
-  if sorted_counters <> [] then begin
+  if spans <> [] then begin
+    Format.fprintf ppf "@.spans (by total cycles):@.";
+    Format.fprintf ppf "  %-12s %-24s %8s %12s %10s %8s %8s %10s@." "category"
+      "name" "count" "total" "avg" "p50" "p99" "max";
+    List.iter
+      (fun ((cat, name), h) ->
+        Format.fprintf ppf "  %-12s %-24s %8d %12d %10.1f %8d %8d %10d@." cat
+          name (Hist.count h) (Hist.sum h) (Hist.mean h) (Hist.quantile h 0.5)
+          (Hist.quantile h 0.99) (Hist.max_value h))
+      spans
+  end;
+  let counters = Agg.counters agg in
+  if counters <> [] then begin
     Format.fprintf ppf "@.counters:@.";
     List.iter
-      (fun (name, (mx, last)) ->
-        Format.fprintf ppf "  %-24s max %d, final %d@." name mx last)
-      sorted_counters
+      (fun (name, c) ->
+        Format.fprintf ppf "  %-24s max %d, final %d, p50 %d, p99 %d@." name
+          c.Agg.c_max c.Agg.c_last
+          (Hist.quantile c.Agg.c_hist 0.5)
+          (Hist.quantile c.Agg.c_hist 0.99))
+      counters
   end;
-  let sorted_instants =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) instants [] |> List.sort compare
-  in
-  if sorted_instants <> [] then begin
+  let instants = Agg.instants agg in
+  if instants <> [] then begin
     Format.fprintf ppf "@.instants:@.";
     List.iter
       (fun ((cat, name), count) ->
         Format.fprintf ppf "  %-12s %-24s %8d@." cat name count)
-      sorted_instants
+      instants
   end;
   List.iter
     (fun (ts, msg) -> Format.fprintf ppf "@.FAULT at cycle %d: %s@." ts msg)
-    (List.sort compare !faults)
+    (Agg.faults agg);
+  if Agg.fault_count agg > Agg.fault_cap then
+    Format.fprintf ppf "@.(%d further faults beyond the %d retained)@."
+      (Agg.fault_count agg - Agg.fault_cap)
+      Agg.fault_cap
+
+let pp_report ppf records = pp_agg ppf (aggregate records)

@@ -391,6 +391,12 @@ let dispatch_next t =
     let elapsed = M.cycles t.machine - before in
     t.now <- t.now + elapsed;
     rearm t e;
+    (* publish cumulative per-category cycle totals at every dispatch
+       boundary: energy attribution becomes recoverable from the trace
+       alone (no-op unless a profiler and a sink are armed) *)
+    (match t.obs with
+    | Some obs -> Obs.emit_profile_counters obs ~ts:t.now
+    | None -> ());
     Some record
 
 let run_for_ms t ms =

@@ -13,6 +13,7 @@ module Event = Amulet_os.Event
 module Lint = Amulet_analysis.Lint
 module Verifier = Amulet_analysis.Verifier
 module Obs = Amulet_obs.Obs
+module Hist = Amulet_obs.Hist
 
 type observed =
   | O_build_rejected
@@ -49,6 +50,7 @@ type cell = {
   cl_lint_rejected : bool option;
   cl_lint_ok : bool;
   cl_note : string;
+  cl_dispatch : Hist.t;
 }
 
 type injection = {
@@ -69,6 +71,7 @@ type summary = {
   s_oracle_failures : int;
   s_lint_failures : int;
   s_nondeterministic : int;
+  s_dispatch : (Iso.mode * Hist.t) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -188,7 +191,8 @@ let lint_rejects report = report.Lint.l_errors > 0
 
 let run_cell ~attack ~mode ~seed =
   let expected = attack.Attacks.atk_expect mode in
-  let finish ?(lint = None) ?(note = "") ~observed ~breaches ~breach_count
+  let finish ?(lint = None) ?(note = "")
+      ?(dispatch = Hist.create ()) ~observed ~breaches ~breach_count
       ~canary ~os ~alive () =
     let oracle_ok =
       match expected with
@@ -220,6 +224,7 @@ let run_cell ~attack ~mode ~seed =
       cl_lint_rejected = lint;
       cl_lint_ok = lint_ok;
       cl_note = note;
+      cl_dispatch = dispatch;
     }
   in
   match Attacks.build_cell ~attack ~mode with
@@ -235,6 +240,11 @@ let run_cell ~attack ~mode ~seed =
     let ai = app_index fw attacker and vi = app_index fw victim in
     let oracle = install_oracle k ~attacker_idx:ai ~image in
     let records = Kernel.run_for_ms k 60 in
+    let dispatch = Hist.create () in
+    List.iter
+      (fun (r : Kernel.dispatch_record) ->
+        Hist.record dispatch r.Kernel.dr_cycles)
+      records;
     let attack_record =
       List.find_opt
         (fun (r : Kernel.dispatch_record) ->
@@ -286,7 +296,7 @@ let run_cell ~attack ~mode ~seed =
             else if target_hit then (O_leak, "write landed in permitted memory")
             else (O_silent, ""))
     in
-    finish ~lint ~observed ~breaches:oracle.breaches
+    finish ~lint ~dispatch ~observed ~breaches:oracle.breaches
       ~breach_count:oracle.breach_count ~canary ~os ~alive ~note ()
 
 (* ------------------------------------------------------------------ *)
@@ -421,9 +431,25 @@ let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
            (fun m -> [ (m, `Regs); (m, `Fram); (m, `Mpu) ])
            modes)
   in
+  (* merge the per-cell histograms into one distribution per mode:
+     [Hist.merge] is associative and commutative, so the result is
+     independent of how the cells were spread over the domains *)
+  let s_dispatch =
+    List.filter_map
+      (fun m ->
+        let h =
+          List.fold_left
+            (fun acc c ->
+              if c.cl_mode = m then Hist.merge acc c.cl_dispatch else acc)
+            (Hist.create ()) s_cells
+        in
+        if Hist.is_empty h then None else Some (m, h))
+      modes
+  in
   {
     s_cells;
     s_injections;
+    s_dispatch;
     s_mismatches =
       List.length (List.filter (fun c -> not c.cl_match) s_cells);
     s_oracle_failures =
@@ -539,6 +565,18 @@ let pp_matrix ppf s =
         modes;
       Format.fprintf ppf "@.")
     attacks;
+  if s.s_dispatch <> [] then begin
+    Format.fprintf ppf
+      "@.dispatch cycles across all cells (merged histograms):@.";
+    Format.fprintf ppf "  %-16s %8s %8s %8s %8s %8s@." "mode" "dispatches"
+      "p50" "p90" "p99" "max";
+    List.iter
+      (fun (m, h) ->
+        Format.fprintf ppf "  %-16s %8d %8d %8d %8d %8d@." (Iso.name m)
+          (Hist.count h) (Hist.quantile h 0.5) (Hist.quantile h 0.9)
+          (Hist.quantile h 0.99) (Hist.max_value h))
+      s.s_dispatch
+  end;
   if s.s_injections <> [] then begin
     Format.fprintf ppf "@.fault injection (seeded, informational):@.";
     List.iter

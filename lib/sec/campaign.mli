@@ -51,6 +51,10 @@ type cell = {
       (** static certifier verdict ([None] when the cell never built) *)
   cl_lint_ok : bool;
   cl_note : string;
+  cl_dispatch : Amulet_obs.Hist.t;
+      (** per-dispatch cycle costs observed during the cell's run
+          (every app, every handler) — empty when the build was
+          rejected *)
 }
 
 (** One fault-injection run (informational rows of the campaign). *)
@@ -74,6 +78,10 @@ type summary = {
   s_oracle_failures : int;
   s_lint_failures : int;
   s_nondeterministic : int;
+  s_dispatch : (Amulet_cc.Isolation.mode * Amulet_obs.Hist.t) list;
+      (** per-mode dispatch-cycle distribution, the cells' histograms
+          merged losslessly across the parallel domains — identical
+          whatever [jobs] was *)
 }
 
 val run_cell :

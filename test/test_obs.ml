@@ -133,6 +133,102 @@ let test_profiler_no_isolation_has_no_guards () =
   check_int "no MPU reconfig" 0 (cat r Profile.Mpu_config)
 
 (* ------------------------------------------------------------------ *)
+(* Aggregation: sharding a record stream over k aggregates and merging
+   must reproduce the single-aggregate result exactly *)
+
+module Agg = Amulet_obs.Agg
+module Hist = Amulet_obs.Hist
+
+let collect_records ~mode =
+  let fw = Aft.build ~mode [ { Aft.name = "counter"; source = counter_app } ] in
+  let obs = Obs.create () in
+  let acc = ref [] in
+  Obs.add_sink obs { Obs.output = (fun r -> acc := r :: !acc); close = ignore };
+  Obs.enable_profile obs fw;
+  let k = Os.Kernel.create ~scenario:Os.Sensors.Walking ~obs fw in
+  let _ = Os.Kernel.run_for_ms k 1_000 in
+  Obs.close obs;
+  List.rev !acc
+
+let test_agg_partition_merge () =
+  let records = collect_records ~mode:Iso.Mpu_assisted in
+  check_bool "run produced records" true (List.length records > 50);
+  let whole = Summary.aggregate records in
+  let shards = Array.init 3 (fun _ -> Agg.create ()) in
+  List.iteri (fun i r -> Agg.add shards.(i mod 3) r) records;
+  let merged =
+    Array.fold_left (fun acc a -> Agg.merge acc a) (Agg.create ()) shards
+  in
+  check_int "record count" (Agg.records whole) (Agg.records merged);
+  Alcotest.(check (option (pair int int)))
+    "time range" (Agg.time_range whole) (Agg.time_range merged);
+  let keys a = List.map fst (Agg.spans a) in
+  Alcotest.(check (list (pair string string)))
+    "span keys" (keys whole) (keys merged);
+  List.iter2
+    (fun (k, hw) (_, hm) ->
+      if not (Hist.equal hw hm) then
+        Alcotest.failf "span %s/%s histogram differs after merge" (fst k)
+          (snd k))
+    (Agg.spans whole) (Agg.spans merged);
+  List.iter2
+    (fun (n, (cw : Agg.counter)) (_, (cm : Agg.counter)) ->
+      check_bool (n ^ " counter hist") true (Hist.equal cw.Agg.c_hist cm.Agg.c_hist);
+      check_int (n ^ " last value") cw.Agg.c_last cm.Agg.c_last;
+      check_int (n ^ " max value") cw.Agg.c_max cm.Agg.c_max)
+    (Agg.counters whole) (Agg.counters merged);
+  Alcotest.(check (list (pair (pair string string) int)))
+    "instants" (Agg.instants whole) (Agg.instants merged)
+
+(* the percentile a merged aggregate reports must equal the
+   single-aggregate ground truth for the same underlying records *)
+let test_agg_percentiles_survive_merge () =
+  let records = collect_records ~mode:Iso.Software_only in
+  let whole = Summary.aggregate records in
+  let a = Agg.create () and b = Agg.create () in
+  List.iteri (fun i r -> Agg.add (if i mod 2 = 0 then a else b) r) records;
+  let merged = Agg.merge a b in
+  List.iter
+    (fun ((cat, name), h) ->
+      let h' =
+        match Agg.span_hist merged ~cat ~name with
+        | Some h' -> h'
+        | None -> Alcotest.failf "span %s/%s lost in merge" cat name
+      in
+      List.iter
+        (fun q ->
+          check_int
+            (Printf.sprintf "%s/%s p%.0f" cat name (q *. 100.0))
+            (Hist.quantile h q) (Hist.quantile h' q))
+        [ 0.5; 0.9; 0.99 ])
+    (Agg.spans whole)
+
+(* profile counters emitted at dispatch boundaries reach the sink and
+   their final values match the profiler's own totals *)
+let test_agg_profile_counters () =
+  let fw =
+    Aft.build ~mode:Iso.Mpu_assisted
+      [ { Aft.name = "counter"; source = counter_app } ]
+  in
+  let obs = Obs.create () in
+  let agg = Agg.create () in
+  Obs.add_sink obs (Agg.sink agg);
+  Obs.enable_profile obs fw;
+  let k = Os.Kernel.create ~scenario:Os.Sensors.Walking ~obs fw in
+  let _ = Os.Kernel.run_for_ms k 1_000 in
+  Obs.close obs;
+  let p = match Obs.profile obs with Some p -> p | None -> assert false in
+  List.iter
+    (fun (c, total) ->
+      match Agg.counter agg (Profile.counter_name c) with
+      | Some st ->
+        check_int (Profile.category_slug c ^ " final counter") total
+          st.Agg.c_last
+      | None ->
+        Alcotest.failf "no %s counter in trace" (Profile.category_slug c))
+    (Profile.totals p)
+
+(* ------------------------------------------------------------------ *)
 (* Forensics *)
 
 let victim_app =
@@ -219,6 +315,15 @@ let () =
           Alcotest.test_case "mpu mode exact" `Quick test_profiler_exact_mpu;
           Alcotest.test_case "no-isolation has no guards" `Quick
             test_profiler_no_isolation_has_no_guards;
+        ] );
+      ( "agg",
+        [
+          Alcotest.test_case "partition+merge = whole" `Quick
+            test_agg_partition_merge;
+          Alcotest.test_case "percentiles survive merge" `Quick
+            test_agg_percentiles_survive_merge;
+          Alcotest.test_case "profile counters in trace" `Quick
+            test_agg_profile_counters;
         ] );
       ( "forensics",
         [

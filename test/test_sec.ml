@@ -349,6 +349,37 @@ void handle_timer(int arg) {
   | [ (name, _) ] -> Alcotest.(check string) "faulty app disabled" "faulty" name
   | l -> Alcotest.failf "expected one unrecovered fault, got %d" (List.length l)
 
+(* ------------------------------------------------------------------ *)
+(* Campaign telemetry: the per-mode dispatch-cycle histograms are
+   merged from per-cell shards computed on parallel domains; the merge
+   is associative/commutative, so the result must not depend on the
+   number of domains. *)
+
+let test_campaign_hist_jobs_invariant () =
+  let module Hist = Amulet_obs.Hist in
+  let only = [ "src_probe_slack"; "src_gate_deputy_write" ] in
+  let modes = [ Iso.Software_only; Iso.Mpu_assisted ] in
+  let s1 = Campaign.run ~quick:true ~jobs:1 ~only ~modes ~seed () in
+  let s2 = Campaign.run ~quick:true ~jobs:2 ~only ~modes ~seed () in
+  Alcotest.(check int)
+    "same mode count"
+    (List.length s1.Campaign.s_dispatch)
+    (List.length s2.Campaign.s_dispatch);
+  Alcotest.(check bool)
+    "histograms present" true
+    (s1.Campaign.s_dispatch <> []);
+  List.iter2
+    (fun (m1, h1) (m2, h2) ->
+      Alcotest.(check string) "mode order" (Iso.name m1) (Iso.name m2);
+      Alcotest.(check bool)
+        (Iso.name m1 ^ " histogram non-empty")
+        true
+        (Hist.count h1 > 0);
+      Alcotest.(check bool)
+        (Iso.name m1 ^ " merged hist independent of jobs")
+        true (Hist.equal h1 h2))
+    s1.Campaign.s_dispatch s2.Campaign.s_dispatch
+
 let () =
   Alcotest.run "sec"
     [
@@ -367,6 +398,11 @@ let () =
         ] );
       ( "corpus",
         [ Alcotest.test_case "quick subset matches" `Slow test_quick_corpus ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "merged hists independent of jobs" `Slow
+            test_campaign_hist_jobs_invariant;
+        ] );
       ( "proof-crosscheck",
         [
           Alcotest.test_case "every attack modelled" `Quick
