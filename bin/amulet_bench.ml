@@ -16,14 +16,40 @@ let read_baseline path =
   | Ok doc -> doc
   | Error msg ->
       Format.eprintf "amulet_bench: cannot read %s: %s@." path msg;
+      if not (Sys.file_exists path) then
+        Format.eprintf
+          "hint: record a baseline first with: amulet_bench run --quick -o %s@."
+          path;
       exit 2
 
-let compare_and_report ~current ~baseline ~threshold ~rate_threshold =
+let compare_and_report ~path ~current ~baseline ~threshold ~rate_threshold =
   let verdicts =
     Schema.compare_docs ~current ~baseline ~det_threshold_pct:threshold
       ~rate_threshold_pct:rate_threshold
   in
+  let skipped = Schema.missing_in_baseline ~current ~baseline in
+  if verdicts = [] then begin
+    Format.eprintf
+      "amulet_bench: %s (schema %d) has no metric in common with the current \
+       run — nothing was compared.@."
+      path baseline.Schema.d_schema;
+    List.iter (Format.eprintf "  not in baseline: %s@.") skipped;
+    if baseline.Schema.d_schema = 1 then
+      Format.eprintf
+        "hint: schema-1 baselines carry only per-mode throughput and whole-run \
+         cycles; re-record with the current amulet_bench to gate histograms \
+         and energy.@.";
+    exit 2
+  end;
   Format.printf "%a" Schema.pp_verdicts verdicts;
+  if skipped <> [] then begin
+    Format.printf "not gated (absent from baseline): %s@."
+      (String.concat ", " skipped);
+    if baseline.Schema.d_schema = 1 then
+      Format.printf
+        "note: baseline is schema 1 (no histograms or energy); re-record it \
+         to gate those metrics.@."
+  end;
   if Schema.regressed verdicts then begin
     Format.printf "REGRESSION: at least one gated metric exceeded %.1f%%@."
       threshold;
@@ -74,7 +100,7 @@ let run_cmd quick trials dispatches warmup modes out compare threshold
             let baseline = read_baseline path in
             Format.printf "@.compare vs %s (schema %d):@." path
               baseline.Schema.d_schema;
-            compare_and_report ~current:doc ~baseline ~threshold
+            compare_and_report ~path ~current:doc ~baseline ~threshold
               ~rate_threshold
       in
       if regressed then exit 1
@@ -83,7 +109,8 @@ let diff_cmd new_path base_path threshold rate_threshold =
   let current = read_baseline new_path in
   let baseline = read_baseline base_path in
   if
-    compare_and_report ~current ~baseline ~threshold ~rate_threshold
+    compare_and_report ~path:base_path ~current ~baseline ~threshold
+      ~rate_threshold
   then exit 1
 
 (* options *)

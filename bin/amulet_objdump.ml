@@ -33,32 +33,156 @@ let spec_of mode arg =
 (* --cfg: print each app's reconstructed control-flow graph (basic
    blocks with cycle counts and successor edges) instead of the linear
    disassembly, reusing the CFI pass so what is shown is exactly what
-   the certifier proved over. *)
-let dump_cfg fw mode =
-  List.fold_left
-    (fun rc ab ->
-      let prefix = ab.Aft.ab_name in
-      Format.printf "@.; ==== %s control-flow graph ====@." prefix;
-      match
-        Amulet_analysis.Cfi.reconstruct ~image:fw.Aft.fw_image ~mode ~prefix
-      with
-      | Ok cfg ->
-        Format.printf "%a" Amulet_analysis.Cfi.pp_cfg cfg;
-        rc
-      | Error vs ->
-        List.iter
-          (fun v ->
-            Format.printf "; CFI violation: %a@."
-              Amulet_analysis.Cfi.pp_violation v)
-          vs;
-        1)
-    0 fw.Aft.fw_apps
+   the certifier proved over.  Loop structure comes from the same
+   Loopbound pass the WCET certifier collapses with, so the headers
+   and back edges shown are the ones a bound must cover. *)
 
-let dump_cmd mode os_too cfg apps =
+module Cfi = Amulet_analysis.Cfi
+module LB = Amulet_analysis.Loopbound
+module J = Amulet_obs.Json
+
+let pp_loops bounds (f : Cfi.func) =
+  match LB.analyze (LB.of_func f) with
+  | LB.Irreducible { edge_src; edge_dst } ->
+    Format.printf "; %s: IRREDUCIBLE (retreating edge %04X -> %04X)@."
+      f.Cfi.f_name edge_src edge_dst
+  | LB.Reducible [] -> ()
+  | LB.Reducible loops ->
+    List.iter
+      (fun (l : LB.loop) ->
+        Format.printf "; %s: loop header %04X, body %d block(s), back %s%s@."
+          f.Cfi.f_name l.LB.l_header
+          (List.length l.LB.l_body)
+          (String.concat ", "
+             (List.map
+                (fun (s, _) -> Printf.sprintf "%04X" s)
+                l.LB.l_back_edges))
+          (match Hashtbl.find_opt bounds l.LB.l_header with
+          | Some b -> Printf.sprintf ", bound %d" b
+          | None -> ", UNBOUNDED"))
+      loops
+
+let json_of_func bounds (f : Cfi.func) =
+  let loops =
+    match LB.analyze (LB.of_func f) with
+    | LB.Irreducible { edge_src; edge_dst } ->
+      [
+        ( "irreducible",
+          J.Obj [ ("from", J.Int edge_src); ("to", J.Int edge_dst) ] );
+      ]
+    | LB.Reducible loops ->
+      [
+        ( "loops",
+          J.Arr
+            (List.map
+               (fun (l : LB.loop) ->
+                 J.Obj
+                   ([
+                      ("header", J.Int l.LB.l_header);
+                      ( "back_edges",
+                        J.Arr
+                          (List.map (fun (s, _) -> J.Int s) l.LB.l_back_edges)
+                      );
+                      ("body", J.Arr (List.map (fun a -> J.Int a) l.LB.l_body));
+                    ]
+                   @
+                   match Hashtbl.find_opt bounds l.LB.l_header with
+                   | Some b -> [ ("bound", J.Int b) ]
+                   | None -> []))
+               loops) );
+      ]
+  in
+  J.Obj
+    ([
+       ("name", J.Str f.Cfi.f_name);
+       ("entry", J.Int f.Cfi.f_entry);
+       ( "blocks",
+         J.Arr
+           (List.map
+              (fun (b : Cfi.block) ->
+                J.Obj
+                  [
+                    ("addr", J.Int b.Cfi.b_addr);
+                    ("cycles", J.Int b.Cfi.b_cycles);
+                    ("insns", J.Int (List.length b.Cfi.b_insns));
+                    ( "succs",
+                      J.Arr (List.map (fun (a, _) -> J.Int a) b.Cfi.b_succs)
+                    );
+                  ])
+              f.Cfi.f_blocks) );
+     ]
+    @ loops)
+
+let dump_cfg fw mode json =
+  let image = fw.Aft.fw_image in
+  let bounds = Amulet_analysis.Wcet.loop_bounds image in
+  let rc = ref 0 in
+  let apps =
+    List.map
+      (fun ab ->
+        let prefix = ab.Aft.ab_name in
+        (prefix, Cfi.reconstruct ~image ~mode ~prefix))
+      fw.Aft.fw_apps
+  in
+  if json then
+    print_string
+      (J.to_string
+         (J.Obj
+            [
+              ("mode", J.Str (Iso.name mode));
+              ( "apps",
+                J.Arr
+                  (List.map
+                     (fun (prefix, res) ->
+                       match res with
+                       | Ok cfg ->
+                         J.Obj
+                           [
+                             ("name", J.Str prefix);
+                             ( "functions",
+                               J.Arr
+                                 (List.map (json_of_func bounds)
+                                    (Cfi.functions cfg)) );
+                           ]
+                       | Error vs ->
+                         rc := 1;
+                         J.Obj
+                           [
+                             ("name", J.Str prefix);
+                             ( "cfi_violations",
+                               J.Arr
+                                 (List.map
+                                    (fun (v : Cfi.violation) ->
+                                      J.Str
+                                        (Format.asprintf "%a"
+                                           Cfi.pp_violation v))
+                                    vs) );
+                           ])
+                     apps) );
+            ])
+      ^ "\n")
+  else
+    List.iter
+      (fun (prefix, res) ->
+        Format.printf "@.; ==== %s control-flow graph ====@." prefix;
+        match res with
+        | Ok cfg ->
+          Format.printf "%a" Cfi.pp_cfg cfg;
+          List.iter (pp_loops bounds) (Cfi.functions cfg)
+        | Error vs ->
+          List.iter
+            (fun v ->
+              Format.printf "; CFI violation: %a@." Cfi.pp_violation v)
+            vs;
+          rc := 1)
+      apps;
+  !rc
+
+let dump_cmd mode os_too cfg json apps =
   try
     let specs = List.map (spec_of mode) apps in
     let fw = Aft.build ~mode specs in
-    if cfg then dump_cfg fw mode
+    if cfg then dump_cfg fw mode json
     else begin
     let machine = Amulet_mcu.Machine.create () in
     Amulet_link.Image.load fw.Aft.fw_image machine;
@@ -135,6 +259,15 @@ let cfg_arg =
           "Print each app's reconstructed control-flow graph (basic blocks \
            with cycle counts and successors) instead of the disassembly.")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "With $(b,--cfg): emit the graph as JSON (blocks with cycle \
+           counts, loop headers, back edges and stamped iteration bounds) \
+           instead of text.")
+
 let apps_arg =
   Arg.(
     non_empty & pos_all string []
@@ -144,6 +277,6 @@ let cmd =
   let doc = "disassemble a built firmware image" in
   Cmd.v
     (Cmd.info "amulet_objdump" ~doc)
-    Term.(const dump_cmd $ mode_arg $ os_arg $ cfg_arg $ apps_arg)
+    Term.(const dump_cmd $ mode_arg $ os_arg $ cfg_arg $ json_arg $ apps_arg)
 
 let () = exit (Cmd.eval' cmd)

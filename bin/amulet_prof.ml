@@ -42,25 +42,28 @@ let report_cmd file =
       0)
 
 (* Final value of each profile.<class>.cycles counter = the class's
-   cumulative cycle total at the last dispatch of the trace. *)
+   cumulative cycle total at the last dispatch of the trace.  Classes
+   whose counter the trace never carried (older recordings predate
+   some categories) come back in [missing] so the report can say the
+   attribution is partial instead of silently attributing 0. *)
 let class_cycles agg =
-  List.filter_map
+  List.partition_map
     (fun c ->
-      Option.map
-        (fun cnt -> (c, cnt.Agg.c_last))
-        (Agg.counter agg (Profile.counter_name c)))
+      match Agg.counter agg (Profile.counter_name c) with
+      | Some cnt -> Left (c, cnt.Agg.c_last)
+      | None -> Right c)
     Profile.categories
 
 let energy_cmd file =
   with_trace file (fun agg ->
       match class_cycles agg with
-      | [] ->
+      | [], _ ->
         Format.eprintf
           "%s: no profile.<class>.cycles counters — record the trace with \
            `amulet_sim --profile --trace ...`@."
           file;
         1
-      | cats ->
+      | cats, missing ->
         let total_cycles = List.fold_left (fun a (_, c) -> a + c) 0 cats in
         let energies = Energy.per_category cats in
         Format.printf "energy attribution (%d attributed cycles, %.1f ms at \
@@ -87,6 +90,11 @@ let energy_cmd file =
         in
         Format.printf "  %-14s %12d cycles  %12s  (isolation overhead)@."
           "guards+gates+MPU" overhead_cycles (joules_str overhead_j);
+        if missing <> [] then
+          Format.printf
+            "warning: trace carries no counter for: %s — attribution is \
+             partial (older trace format?)@."
+            (String.concat ", " (List.map Profile.category_name missing));
         (* extrapolate the overhead share to a week of wall time *)
         (match Agg.time_range agg with
         | Some (lo, hi) when hi > lo ->

@@ -36,6 +36,9 @@ let stack_margin = 64
 
 let build ~mode ?(shadow = false) ?(elide = true) ?(certify = true) specs =
   let analyze = if elide then Some Amulet_analysis.Range.analyze else None in
+  let loop_bounds =
+    if elide then Some Amulet_analysis.Range.loop_bounds else None
+  in
   (* phase 0: validate *)
   let names = List.map (fun s -> s.name) specs in
   if List.length (List.sort_uniq compare names) <> List.length names then
@@ -48,7 +51,9 @@ let build ~mode ?(shadow = false) ?(elide = true) ?(certify = true) specs =
   let compiled =
     List.map
       (fun s ->
-        (s, Driver.compile ~prefix:s.name ~mode ~shadow ?analyze s.source))
+        ( s,
+          Driver.compile ~prefix:s.name ~mode ~shadow ?analyze ?loop_bounds
+            s.source ))
       specs
   in
   (* phase 3: sections and stub generation (sizing pass) *)
@@ -147,7 +152,26 @@ let build ~mode ?(shadow = false) ?(elide = true) ?(certify = true) specs =
              | [] -> None
              | svcs ->
                Some ("cert.gates." ^ spec.name, String.concat "," svcs))
-           specs)
+           specs
+        @ image.Amulet_link.Image.notes)
+  in
+  (* stamp loop iteration bounds (app loops from the range analysis,
+     runtime-helper loops from their fixed structure) so the binary
+     WCET pass can bound back-edges without re-running the source
+     analysis.  Keys are [wcet.loop.<header label>]; header labels
+     are mangled per app, so they never collide. *)
+  let image =
+    Amulet_link.Image.with_notes image
+      (image.Amulet_link.Image.notes
+      @ List.concat_map
+          (fun (_, cu) ->
+            List.map
+              (fun (label, b) -> ("wcet.loop." ^ label, string_of_int b))
+              cu.Driver.loops)
+          compiled
+      @ List.map
+          (fun (label, b) -> ("wcet.loop." ^ label, string_of_int b))
+          Amulet_cc.Runtime.loop_bounds)
   in
   let apps =
     List.map2

@@ -37,6 +37,7 @@ type app_report = {
   r_stack : Stackcert.verdict option;  (** None when CFI failed *)
   r_gates : Gate_taint.t option;
   r_certified : string list;  (** services safe to elide (see above) *)
+  r_wcet : Wcet.t option;  (** None when CFI failed *)
 }
 
 type report = {
@@ -73,6 +74,11 @@ let lint_app ~image ~mode prefix =
     | Ok cfg ->
       let st = Stackcert.analyze ~cfg ~image in
       (Some st.Stackcert.sc_verdict, Some (Gate_taint.analyze ~cfg ~stack:st ~image))
+  in
+  let wcet =
+    match cfi with
+    | Error _ -> None
+    | Ok cfg -> Some (Wcet.analyze ~image ~cfg)
   in
   let certified =
     match (gates, cfi) with
@@ -136,8 +142,30 @@ let lint_app ~image ~mode prefix =
     if certified <> [] then
       diag "gates" Note
         ("validation elidable for: " ^ String.concat ", " certified));
+  (match wcet with
+  | None -> ()
+  | Some w ->
+    (* a handler the bound analysis cannot certify is a warning, not
+       an error: an unbounded handler is a quality-of-service problem,
+       while the isolation guarantees above do not depend on it *)
+    List.iter
+      (fun (h : Wcet.handler_bound) ->
+        match h.Wcet.hb_total with
+        | Wcet.Bounded c ->
+          diag "wcet" Note
+            (Printf.sprintf "%s worst case %d cycles per dispatch"
+               h.Wcet.hb_handler c)
+        | Wcet.Unbounded _ ->
+          diag "wcet" Warn
+            (Format.asprintf "%s %a" h.Wcet.hb_handler Wcet.pp_verdict
+               h.Wcet.hb_total))
+      w.Wcet.w_handlers;
+    if w.Wcet.w_loops > 0 then
+      diag "wcet" Note
+        (Printf.sprintf "%d of %d loops carry a static iteration bound"
+           w.Wcet.w_bounded_loops w.Wcet.w_loops));
   ( { r_app = prefix; r_sfi = sfi; r_cfi = cfi; r_stack = stack;
-      r_gates = gates; r_certified = certified },
+      r_gates = gates; r_certified = certified; r_wcet = wcet },
     List.rev !diags )
 
 (* The mode-level write-containment obligations ([lib/proof]): each is

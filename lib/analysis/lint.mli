@@ -10,7 +10,8 @@ type severity = Note | Warn | Error
 type diag = {
   d_app : string;  (** "" for image-level diagnostics *)
   d_pass : string;
-      (** "image" | "sfi" | "cfi" | "stackcert" | "gates" | "proof" *)
+      (** "image" | "sfi" | "cfi" | "stackcert" | "gates" | "wcet"
+          | "proof" *)
   d_severity : severity;
   d_addr : int option;
   d_message : string;
@@ -26,6 +27,7 @@ type app_report = {
       (** services whose dynamic gate-pointer validation is provably
           redundant for this app (requires the CFI proof and a mode
           that keeps app code immutable) *)
+  r_wcet : Wcet.t option;  (** [None] when CFI failed *)
 }
 
 type report = {

@@ -88,6 +88,8 @@ let obj_descr o =
 type ctx = {
   env : C.env;
   sites : (Srcloc.t, Codegen.site_class) Hashtbl.t;
+  loops : (Srcloc.t, int) Hashtbl.t;
+      (* loop condition location -> max body executions (WCET) *)
 }
 
 type fctx = {
@@ -661,10 +663,225 @@ let rec stmt f (s : Tast.tstmt) : unit =
     restore f entry
   | Tast.Tsblock body -> List.iter (stmt f) body
 
+(* ------------------------------------------------------------------ *)
+(* Loop iteration bounds (for the WCET certifier).
+
+   A loop gets a bound only when it is a plain counted loop the
+   abstract state can decide from the entry environment:
+
+   - the condition compares a tracked scalar local [i] against a
+     constant ([i < K], [K > i], ...);
+   - [i] is modified at exactly one site in the whole loop (body,
+     step and condition together), that site is a top-level statement
+     of the body or the [for] step — so it executes on every
+     iteration — and it adds or subtracts a nonzero constant;
+   - the body contains no [continue] binding to this loop (it could
+     skip a body-level update);
+   - the iteration sequence provably cannot wrap around 16 bits
+     before the exit test fails (signedness follows codegen's rule:
+     both operands [int] compares signed, anything else unsigned).
+
+   The recorded value B is the maximum number of *body executions*
+   per loop entry; the binary-side analysis charges B+1 executions of
+   the header block to also cover the final failing test of
+   while-style loops.  Everything else simply records no bound and
+   the handler degrades to [Unbounded]. *)
+
+and count_writes name e =
+  let n = ref 0 in
+  let rec root l =
+    match l.Tast.te with
+    | Tast.Tlocal m -> if m = name then incr n
+    | Tast.Tcast (_, i) -> root i
+    | _ -> ()
+  in
+  Tast.iter_expr
+    (fun x ->
+      match x.Tast.te with
+      | Tast.Tassign (l, _) | Tast.Top_assign (_, l, _) -> root l
+      | Tast.Tpre_incr l
+      | Tast.Tpre_decr l
+      | Tast.Tpost_incr l
+      | Tast.Tpost_decr l ->
+        root l
+      | _ -> ())
+    e;
+  !n
+
+(* [continue] statements binding to the current loop: recurse through
+   if/block/switch but not into nested loops (their [continue]s bind
+   there). *)
+and has_own_continue stmts =
+  List.exists
+    (fun s ->
+      match s with
+      | Tast.Tscontinue -> true
+      | Tast.Tsif (_, a, b) -> has_own_continue a || has_own_continue b
+      | Tast.Tsblock b -> has_own_continue b
+      | Tast.Tsswitch (_, cases, default) ->
+        List.exists (fun (_, b) -> has_own_continue b) cases
+        || (match default with Some b -> has_own_continue b | None -> false)
+      | _ -> false)
+    stmts
+
+(* Recognize [e] as the canonical update of [name]: returns the signed
+   step added per execution. *)
+and update_step name (e : Tast.texpr) =
+  let is_i x = match x.Tast.te with Tast.Tlocal m -> m = name | _ -> false in
+  match e.Tast.te with
+  | Tast.Tassign (l, r) when is_i l -> (
+    match r.Tast.te with
+    | Tast.Tbin (Ast.Add, a, b) when is_i a -> Codegen.fold_const b
+    | Tast.Tbin (Ast.Add, a, b) when is_i b -> Codegen.fold_const a
+    | Tast.Tbin (Ast.Sub, a, b) when is_i a ->
+      Option.map (fun k -> -k) (Codegen.fold_const b)
+    | _ -> None)
+  | Tast.Top_assign (Ast.Add, l, r) when is_i l -> Codegen.fold_const r
+  | Tast.Top_assign (Ast.Sub, l, r) when is_i l ->
+    Option.map (fun k -> -k) (Codegen.fold_const r)
+  | (Tast.Tpre_incr l | Tast.Tpost_incr l) when is_i l -> Some 1
+  | (Tast.Tpre_decr l | Tast.Tpost_decr l) when is_i l -> Some (-1)
+  | _ -> None
+
+(* Max body executions for entry value in [elo, ehi], condition
+   [i op K] tested before ([pre]) or after each body execution, [i]
+   stepped by [s] per execution.  [None] when the sequence could wrap
+   16 bits before the test fails or the shape is out of scope. *)
+and iter_bound ~signed ~pre op k s (elo, ehi) =
+  let ceil_div a b = (a + b - 1) / b in
+  let lo_rep, hi_rep = if signed then (smin, smax) else (0, 0xFFFF) in
+  (* unsigned compares see the 16-bit value, not the signed
+     representative *)
+  let k = if signed then k else k land 0xFFFF in
+  if (not signed) && elo < 0 then None
+  else if elo < lo_rep || ehi > hi_rep then None
+  else
+    let pre_bound () =
+      match op with
+      | Ast.Lt when s > 0 ->
+        if k <= elo then Some 0
+        else if k - 1 + s <= hi_rep then Some (ceil_div (k - elo) s)
+        else None
+      | Ast.Le when s > 0 ->
+        if elo > k then Some 0
+        else if k + s <= hi_rep then Some (((k - elo) / s) + 1)
+        else None
+      | Ast.Gt when s < 0 ->
+        let d = -s in
+        if ehi <= k then Some 0
+        else if k + 1 - d >= lo_rep then Some (ceil_div (ehi - k) d)
+        else None
+      | Ast.Ge when s < 0 ->
+        let d = -s in
+        if ehi < k then Some 0
+        else if k - d >= lo_rep then Some (((ehi - k) / d) + 1)
+        else None
+      | Ast.Ne when s = 1 && elo = ehi && elo <= k -> Some (k - elo)
+      | Ast.Ne when s = -1 && elo = ehi && elo >= k -> Some (elo - k)
+      | _ -> None
+    in
+    if pre then pre_bound ()
+    else
+      (* post-test (do-while): the body runs once before the first
+         test, and the first update must itself not wrap *)
+      let first_ok =
+        if s > 0 then ehi + s <= hi_rep else elo + s >= lo_rep
+      in
+      if not first_ok then None
+      else
+        match op with
+        | Ast.Ne ->
+          (* the exit test must actually be reachable after >= 1 body
+             execution: require strict inequality at entry *)
+          if s = 1 && elo = ehi && elo < k then Some (k - elo)
+          else if s = -1 && elo = ehi && elo > k then Some (elo - k)
+          else None
+        | _ -> Option.map (fun b -> b + 1) (pre_bound ())
+
+and infer_loop_bound f ~cond ~pre_cond ~body ~step =
+  match cond with
+  | None -> ()
+  | Some c -> (
+    let mirror = function
+      | Ast.Lt -> Ast.Gt
+      | Ast.Le -> Ast.Ge
+      | Ast.Gt -> Ast.Lt
+      | Ast.Ge -> Ast.Le
+      | op -> op
+    in
+    let shape =
+      match c.Tast.te with
+      | Tast.Tbin (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Ne) as op), a, b)
+        -> (
+        let signed = a.Tast.ty = C.Int && b.Tast.ty = C.Int in
+        match (a.Tast.te, Codegen.fold_const b) with
+        | Tast.Tlocal i, Some k -> Some (i, a.Tast.ty, op, k, signed)
+        | _ -> (
+          match (Codegen.fold_const a, b.Tast.te) with
+          | Some k, Tast.Tlocal i -> Some (i, b.Tast.ty, mirror op, k, signed)
+          | _ -> None))
+      | _ -> None
+    in
+    match shape with
+    | None -> ()
+    | Some (i, ity, op, k, signed) ->
+      if Hashtbl.mem f.tracked i && not (has_own_continue body) then begin
+        (* exactly one modification of [i], guaranteed every iteration *)
+        let in_cond = count_writes i c in
+        let in_step =
+          match step with Some st -> count_writes i st | None -> 0
+        in
+        let in_body =
+          let n = ref 0 in
+          List.iter
+            (Tast.iter_stmt
+               ~decl:(fun _ _ -> ())
+               ~expr:(fun e -> n := !n + count_writes i e))
+            body;
+          !n
+        in
+        let shadowed =
+          let sh = ref false in
+          List.iter
+            (Tast.iter_stmt
+               ~decl:(fun n _ -> if n = i then sh := true)
+               ~expr:(fun _ -> ()))
+            body;
+          !sh
+        in
+        let site_step =
+          if shadowed || in_cond > 0 || in_body + in_step <> 1 then None
+          else if in_step = 1 then Option.bind step (update_step i)
+          else
+            (* the single body write must be a whole top-level
+               statement, so it executes on every iteration *)
+            List.find_map
+              (function
+                | Tast.Tsexpr e when count_writes i e = 1 -> update_step i e
+                | _ -> None)
+              body
+        in
+        match site_step with
+        | Some s when s <> 0 -> (
+          match get_local f i ity with
+          | Num r -> (
+            match iter_bound ~signed ~pre:pre_cond op k s (r.lo, r.hi) with
+            | Some b ->
+              let prev = Hashtbl.find_opt f.p.loops c.Tast.tloc in
+              if match prev with Some p -> b > p | None -> true then
+                Hashtbl.replace f.p.loops c.Tast.tloc b
+            | None -> ())
+          | _ -> ())
+        | _ -> ()
+      end)
+
 (* One pass is sound because everything assigned inside the loop is
    first killed to its type default: the entry state is then an
    invariant of every iteration. *)
 and loop f ~cond ~pre_cond ~body ~step =
+  (* bound inference reads the entry value of the induction variable,
+     so it must run before the kill *)
+  infer_loop_bound f ~cond ~pre_cond ~body ~step;
   let ks = assigned_in body (Option.to_list cond @ Option.to_list step) in
   kill f ks;
   let entry = snapshot f in
@@ -704,10 +921,24 @@ let do_func ctx (fn : Tast.tfunc) =
   let f = { p = ctx; tracked; vals = Hashtbl.create 16 } in
   List.iter (stmt f) fn.Tast.tfbody
 
-let analyze (prog : Tast.program) : Codegen.classifier =
-  let ctx = { env = prog.Tast.struct_env; sites = Hashtbl.create 64 } in
+let run_pass (prog : Tast.program) =
+  let ctx =
+    {
+      env = prog.Tast.struct_env;
+      sites = Hashtbl.create 64;
+      loops = Hashtbl.create 16;
+    }
+  in
   List.iter (do_func ctx) prog.Tast.funcs;
+  ctx
+
+let analyze (prog : Tast.program) : Codegen.classifier =
+  let ctx = run_pass prog in
   fun loc ->
     match Hashtbl.find_opt ctx.sites loc with
     | Some cls -> cls
     | None -> Codegen.Needs_check
+
+let loop_bounds (prog : Tast.program) : Srcloc.t -> int option =
+  let ctx = run_pass prog in
+  fun loc -> Hashtbl.find_opt ctx.loops loc

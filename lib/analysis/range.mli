@@ -32,3 +32,18 @@ val analyze : Amulet_cc.Tast.program -> Amulet_cc.Codegen.classifier
     [Needs_check].
 
     @raise Amulet_cc.Srcloc.Error for a proven-out-of-bounds access. *)
+
+val loop_bounds :
+  Amulet_cc.Tast.program -> Amulet_cc.Srcloc.t -> int option
+(** [loop_bounds prog] runs the same flow-sensitive pass and returns,
+    keyed by a loop condition's source location, the maximum number of
+    {e body executions} the loop can perform per entry — defined only
+    for plain counted loops (tracked scalar against a constant, a
+    single unconditional constant-step update, no [continue], no
+    possible 16-bit wraparound before the exit test).  Codegen
+    attaches these to the loop's header label
+    ({!Amulet_cc.Codegen.gen_program}'s [loop_bound] argument) and the
+    AFT stamps them into the image as [wcet.loop.<label>] notes for
+    the binary WCET pass ({!Wcet}).
+
+    @raise Amulet_cc.Srcloc.Error for a proven-out-of-bounds access. *)

@@ -1,0 +1,74 @@
+(** Static worst-case execution time over the certified binary.
+
+    Computes, per app function and per event handler, an upper bound
+    on the cycles one dispatch can consume — including every isolation
+    artifact the binary actually contains: guard sequences and fault
+    stubs, the mode's trampoline and exit/[__osreturn] stubs, gate
+    stubs plus the kernel's worst-case service charge, and runtime
+    helper calls.
+
+    The machinery is longest-path over the CFI-reconstructed CFG after
+    collapsing natural loops innermost-first ({!Loopbound}).  A loop
+    whose header carries a stamped iteration bound (a
+    [wcet.loop.<label>] image note, produced by the source-level
+    range analysis through codegen and the AFT) is replaced by a
+    single node costing [(B + 1) * P] where [B] is the maximum number
+    of body executions per entry and [P] the longest acyclic path
+    through the body — the [+ 1] covers the final failing condition
+    test of while-style loops (and over-approximates do-while loops by
+    one test, which is sound).  A loop with no stamped bound, an
+    irreducible region, or a recursive call cycle yields
+    {!verdict.Unbounded} with a call-chain witness instead of a
+    number; the analysis never rejects an image.
+
+    Soundness contract (asserted by [test_wcet] and CI): for every
+    dispatch the kernel records, [dr_cycles <= bound] whenever the
+    handler's verdict is [Bounded].  The dynamic count includes the
+    kernel's per-service charge cycles, which the static side covers
+    with {!Amulet_cc.Apis.worst_case_charge}. *)
+
+type verdict =
+  | Bounded of int  (** cycles, kernel service charges included *)
+  | Unbounded of { reason : string; chain : string list }
+      (** [chain] is the call path from the analysed root down to the
+          defeating construct, root first *)
+
+type func_bound = {
+  fb_name : string;  (** mangled symbol, as in {!Cfi.func.f_name} *)
+  fb_verdict : verdict;
+  fb_loops : int;  (** natural loops in this function's CFG *)
+  fb_bounded_loops : int;  (** of which carry a stamped bound *)
+}
+
+type handler_bound = {
+  hb_handler : string;  (** unmangled entry point, e.g. [handle_timer] *)
+  hb_fn : verdict;  (** the handler function body alone *)
+  hb_dispatch : verdict;
+      (** mode overhead outside the function: trampoline span plus
+          exit-stub/[__osreturn] span through the final halt write *)
+  hb_total : verdict;
+      (** what [dr_cycles] is bounded by: function plus dispatch *)
+}
+
+type t = {
+  w_prefix : string;
+  w_mode : Amulet_cc.Isolation.mode;
+  w_funcs : func_bound list;
+  w_handlers : handler_bound list;
+  w_loops : int;  (** loops across all app functions *)
+  w_bounded_loops : int;
+}
+
+val loop_bounds : Amulet_link.Image.t -> (int, int) Hashtbl.t
+(** The [wcet.loop.<label>] notes of an image, keyed by the header
+    label's resolved address: max body executions per loop entry.
+    Notes whose label no longer resolves are dropped. *)
+
+val analyze : image:Amulet_link.Image.t -> cfg:Cfi.t -> t
+(** [cfg] is a successful {!Cfi.reconstruct} result for the same
+    image; the WCET pass is only meaningful on CFI-certified code. *)
+
+val handler_bound : t -> string -> verdict option
+(** Total-dispatch verdict for an unmangled handler name. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

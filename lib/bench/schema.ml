@@ -304,14 +304,16 @@ let write_file path d =
 let read_file path =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
-  | ic ->
-    let text =
+  | ic -> (
+    match
       Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
           really_input_string ic (in_channel_length ic))
-    in
-    (match Json.parse text with
-    | j -> of_json j
-    | exception Json.Parse_error msg -> Error msg)
+    with
+    | exception End_of_file -> Error "truncated file"
+    | text -> (
+      match Json.parse text with
+      | j -> of_json j
+      | exception Json.Parse_error msg -> Error msg))
 
 (* ------------------------------------------------------------------ *)
 (* Comparison *)
@@ -441,6 +443,57 @@ let compare_docs ~current ~baseline ~det_threshold_pct ~rate_threshold_pct =
   List.rev !verdicts
 
 let regressed vs = List.exists (fun v -> v.v_regressed) vs
+
+(* Metrics the current snapshot carries that the baseline cannot gate,
+   using the same comparability conditions as [compare_docs] — each
+   entry reads like "latency p99 (mpu)".  A schema-1 baseline has no
+   histograms, no energy and a single throughput trial, so most rows
+   of a schema-2 run land here; surfacing the list keeps a quiet
+   comparison from being mistaken for a passing one. *)
+let missing_in_baseline ~current ~baseline =
+  let misses = ref [] in
+  let push fmt = Printf.ksprintf (fun s -> misses := s :: !misses) fmt in
+  List.iter
+    (fun (m : mode_row) ->
+      match
+        List.find_opt (fun (b : mode_row) -> b.m_mode = m.m_mode)
+          baseline.d_modes
+      with
+      | None -> push "mode %s (absent from baseline)" m.m_mode
+      | Some b ->
+        let nonempty = function
+          | Some h -> not (Hist.is_empty h)
+          | None -> false
+        in
+        if m.m_cycles_per_dispatch > 0.0 && b.m_cycles_per_dispatch <= 0.0
+        then push "cycles/dispatch (%s)" m.m_mode;
+        if nonempty m.m_latency && not (nonempty b.m_latency) then
+          push "latency p99 (%s)" m.m_mode;
+        if
+          m.m_energy_per_dispatch_j <> None
+          && (match b.m_energy_per_dispatch_j with
+             | Some bj -> bj <= 0.0
+             | None -> true)
+        then push "energy/dispatch (%s)" m.m_mode;
+        if m.m_rate.r_trials <> [] && b.m_rate.r_trials = [] then
+          push "cycles/sec (%s)" m.m_mode)
+    current.d_modes;
+  List.iter
+    (fun (mode, new_v) ->
+      if new_v > 0.0 then
+        match List.assoc_opt mode baseline.d_gate.g_ctx_switch with
+        | Some old_v when old_v > 0.0 -> ()
+        | _ -> push "ctx-switch cycles (%s)" mode)
+    current.d_gate.g_ctx_switch;
+  List.iter
+    (fun (c : cert_row) ->
+      if
+        not
+          (List.exists (fun (b : cert_row) -> b.c_mode = c.c_mode)
+             baseline.d_gate.g_cert)
+      then push "gate cert cycles (%s)" c.c_mode)
+    current.d_gate.g_cert;
+  List.rev !misses
 
 let pp_verdicts ppf vs =
   (* values span cycles (10^6) down to joules/dispatch (10^-7) *)

@@ -96,3 +96,10 @@ val compare_docs :
 
 val regressed : verdict list -> bool
 val pp_verdicts : Format.formatter -> verdict list -> unit
+
+val missing_in_baseline : current:doc -> baseline:doc -> string list
+(** Human-readable list of metrics the current snapshot carries that
+    the baseline lacks — what {!compare_docs} silently skipped.
+    Typical for a schema-1 baseline, which predates histograms, energy
+    accounting and multi-trial throughput.  Empty when every current
+    metric found a baseline counterpart. *)

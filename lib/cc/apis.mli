@@ -21,3 +21,34 @@ val gate_label : string -> string
 val arg_count : string -> int
 (** Number of declared parameters.
     @raise Not_found for unknown names. *)
+
+(** {1 Service cost model}
+
+    The single source of truth for service dispatch costs: the kernel
+    ([Amulet_os.Api]) charges exactly these cycles at run time, and
+    the static WCET certifier ([Amulet_analysis.Wcet]) sums the same
+    constants for its per-call upper bound, so the two cannot drift
+    apart. *)
+
+val base_charge : string -> int
+(** Fixed cycles charged to every dispatch of a service. *)
+
+val per_word_charge : int
+(** Cycles per 16-bit word the kernel copies into app memory. *)
+
+val validate_charge : int
+(** Cycles for validating one app-supplied pointer range; skipped for
+    statically certified call sites. *)
+
+val range_services : string list
+(** Services that take an app pointer and therefore pay
+    {!validate_charge} when uncertified. *)
+
+val max_variable_charge : string -> int
+(** Upper bound of the data-dependent charge (the kernel clamps all
+    app-supplied lengths, so this is finite for every service). *)
+
+val worst_case_charge : certified:bool -> string -> int
+(** [base + validate (if applicable and uncertified) + max variable] —
+    an upper bound on what any single dispatch of the service can
+    charge. *)

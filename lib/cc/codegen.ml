@@ -37,6 +37,12 @@ type output = {
   data : A.item list;
   infos : fn_info list;
   handlers : string list;
+  loops : (string * int) list;
+      (* (loop header label, max body executions) for every loop the
+         range analysis bounded — the header label is the back-edge
+         target, already present in the symbol table, so the AFT can
+         stamp the bound into the image without changing a byte of
+         code *)
 }
 
 let errf = Srcloc.errf
@@ -49,11 +55,13 @@ type pctx = {
   mode : Isolation.mode;
   shadow : bool; (* shadow return-address stack *)
   classify : classifier;
+  loop_bound : Srcloc.t -> int option; (* keyed by condition location *)
   env : Ctype.env;
   strings : (string, string) Hashtbl.t; (* contents -> label *)
   mutable string_counter : int;
   globals : (string, Ctype.t) Hashtbl.t;
   functions : (string, unit) Hashtbl.t; (* in-unit function names *)
+  mutable loops : (string * int) list; (* header label -> bound *)
 }
 
 let intern_string p contents =
@@ -842,6 +850,15 @@ and eval_call_ptr c callee args =
 (* ------------------------------------------------------------------ *)
 (* Statements *)
 
+(* Attach the range analysis's iteration bound (if any) to the loop's
+   header label — the back-edge target the binary loop detection will
+   find.  The label is emitted as an ordinary symbol anyway, so this
+   only adds metadata: generated code is unchanged byte for byte. *)
+let note_loop_bound c (cond : texpr) header =
+  match c.p.loop_bound cond.tloc with
+  | Some b -> c.p.loops <- (header, b) :: c.p.loops
+  | None -> ()
+
 let rec gen_stmt c (s : tstmt) =
   match s with
   | Tsexpr e ->
@@ -859,6 +876,7 @@ let rec gen_stmt c (s : tstmt) =
     out c (A.label lend)
   | Tswhile (cond, body) ->
     let lcond = fresh c "wc" and lbody = fresh c "wb" and lend = fresh c "wx" in
+    note_loop_bound c cond lcond;
     out c (A.label lcond);
     branch c cond ~if_true:lbody ~if_false:lend;
     out c (A.label lbody);
@@ -871,6 +889,7 @@ let rec gen_stmt c (s : tstmt) =
     out c (A.label lend)
   | Tsdo_while (body, cond) ->
     let lbody = fresh c "db" and lcond = fresh c "dc" and lend = fresh c "dx" in
+    note_loop_bound c cond lbody;
     out c (A.label lbody);
     c.breaks <- lend :: c.breaks;
     c.continues <- lcond :: c.continues;
@@ -884,6 +903,7 @@ let rec gen_stmt c (s : tstmt) =
     Option.iter (gen_stmt c) init;
     let lcond = fresh c "fc" and lbody = fresh c "fb" in
     let lstep = fresh c "fs" and lend = fresh c "fx" in
+    Option.iter (fun e -> note_loop_bound c e lcond) cond;
     out c (A.label lcond);
     (match cond with
     | Some e -> branch c e ~if_true:lbody ~if_false:lend
@@ -1182,12 +1202,14 @@ let fault_stubs prefix =
     ]
 
 let gen_program ~prefix ~mode ?(shadow = false)
-    ?(classify = fun _ -> Needs_check) (prog : Tast.program) : output =
+    ?(classify = fun _ -> Needs_check) ?(loop_bound = fun _ -> None)
+    (prog : Tast.program) : output =
   let p =
     {
-      prefix; mode; shadow; classify; env = prog.struct_env;
+      prefix; mode; shadow; classify; loop_bound; env = prog.struct_env;
       strings = Hashtbl.create 16; string_counter = 0;
       globals = Hashtbl.create 64; functions = Hashtbl.create 64;
+      loops = [];
     }
   in
   List.iter (fun g -> Hashtbl.add p.globals g.tgname g.tgtype) prog.globals;
@@ -1222,4 +1244,5 @@ let gen_program ~prefix ~mode ?(shadow = false)
     data = globals_items @ string_items;
     infos = List.rev !infos;
     handlers;
+    loops = List.rev p.loops;
   }

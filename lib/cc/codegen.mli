@@ -59,6 +59,12 @@ type output = {
   data : Amulet_link.Asm.item list;
   infos : fn_info list;
   handlers : string list;  (** functions named [handle_*] (event entry points) *)
+  loops : (string * int) list;
+      (** [(header label, max body executions)] for every loop the
+          [loop_bound] oracle bounded.  The header label is the loop's
+          back-edge target and is emitted as an ordinary symbol, so
+          the bound can be attached to the linked image (as a
+          [wcet.loop.<label>] note) without changing any code byte. *)
 }
 
 val fold_const : Tast.texpr -> int option
@@ -77,11 +83,18 @@ val gen_program :
   mode:Isolation.mode ->
   ?shadow:bool ->
   ?classify:classifier ->
+  ?loop_bound:(Srcloc.t -> int option) ->
   Tast.program ->
   output
 (** [classify] is consulted once per computed-address dereference site
     (pointer deref, [->], dynamically-indexed array) in the modes that
     insert guards; [Proven_safe] suppresses the guard.
+
+    [loop_bound] is consulted once per loop statement with the
+    condition's source location ({!Amulet_analysis.Range.loop_bounds}
+    is the producer); a [Some b] is recorded against the loop's header
+    label in [output.loops] and changes nothing about the emitted
+    code.
 
     [shadow] enables the shadow return-address stack (an optional
     hardening on top of any mode): prologues copy the return address

@@ -8,12 +8,13 @@ type compiled = {
   api_gates : string list;
   stack_bytes : int;
   recursive : bool;
+  loops : (string * int) list;
 }
 
 let default_stack_bytes = 512
 
-let compile ~prefix ~mode ?(shadow = false) ?analyze ?(extra_externals = [])
-    source =
+let compile ~prefix ~mode ?(shadow = false) ?analyze ?loop_bounds
+    ?(extra_externals = []) source =
   let ast = Parser.parse source in
   Feature_check.check ~mode ast;
   let externals =
@@ -23,7 +24,8 @@ let compile ~prefix ~mode ?(shadow = false) ?analyze ?(extra_externals = [])
   (* the range analysis runs between type checking and code generation
      and may itself reject proven-out-of-bounds accesses *)
   let classify = Option.map (fun f -> f tast) analyze in
-  let out = Codegen.gen_program ~prefix ~mode ~shadow ?classify tast in
+  let loop_bound = Option.map (fun f -> f tast) loop_bounds in
+  let out = Codegen.gen_program ~prefix ~mode ~shadow ?classify ?loop_bound tast in
   let roots =
     let mains =
       List.filter_map
@@ -61,4 +63,5 @@ let compile ~prefix ~mode ?(shadow = false) ?analyze ?(extra_externals = [])
     api_gates;
     stack_bytes;
     recursive;
+    loops = out.Codegen.loops;
   }

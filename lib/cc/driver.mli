@@ -11,6 +11,9 @@ type compiled = {
   api_gates : string list;  (** distinct API gates referenced *)
   stack_bytes : int;  (** worst-case stack for any handler *)
   recursive : bool;  (** stack bound came from the recursion default *)
+  loops : (string * int) list;
+      (** [(header label, max body executions)] from the loop-bound
+          oracle — see {!Codegen.output.loops} *)
 }
 
 val default_stack_bytes : int
@@ -21,6 +24,7 @@ val compile :
   mode:Isolation.mode ->
   ?shadow:bool ->
   ?analyze:(Tast.program -> Codegen.classifier) ->
+  ?loop_bounds:(Tast.program -> Srcloc.t -> int option) ->
   ?extra_externals:(string * Ctype.t) list ->
   string ->
   compiled
@@ -29,5 +33,8 @@ val compile :
     [analyze] (typically {!Amulet_analysis.Range.analyze}) runs after
     type checking and classifies dereference sites so codegen can
     elide guards proven redundant; it may raise {!Srcloc.Error} for
-    accesses proven out of bounds.
+    accesses proven out of bounds.  [loop_bounds] (typically
+    {!Amulet_analysis.Range.loop_bounds}) supplies per-loop iteration
+    bounds recorded into [compiled.loops] for the WCET certifier; it
+    never changes the generated code.
     @raise Srcloc.Error on any source-level problem. *)

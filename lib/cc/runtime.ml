@@ -160,6 +160,26 @@ let items =
   @ (l bc_begin :: bounds_check)
   @ [ l bc_end; l rt_end ]
 
+(* Iteration bounds of the helper loops, keyed by the loop's header
+   label (the back-edge target).  A bound B means the loop body runs
+   at most B times per entry; the WCET analysis charges (B+1) header
+   executions to cover while-style exit tests.  [bc$fail] needs no
+   bound: its first instruction writes the software-fault port, which
+   stops the machine, so the spin never executes a second time.
+
+   - mul$loop shifts the multiplier right once per iteration, so it
+     exits after at most 16 iterations;
+   - udm$loop counts R15 down from exactly 16;
+   - the shift loops mask their count with [and #15] first. *)
+let loop_bounds =
+  [
+    ("mul$loop", 16);
+    ("udm$loop", 16);
+    ("shl$loop", 15);
+    ("shr$loop", 15);
+    ("sar$loop", 15);
+  ]
+
 let builtin_externals =
   [
     ("__halt", Ctype.Func (Ctype.Void, []));

@@ -25,6 +25,14 @@ val rt_end : string
 val bc_begin : string
 val bc_end : string
 
+val loop_bounds : (string * int) list
+(** [(header label, max body executions)] for every helper loop — the
+    AFT stamps these into the image as [wcet.loop.<label>] notes so
+    the binary WCET analysis can bound helper calls.  The
+    [__bounds_check] failure spin is absent deliberately: its first
+    instruction writes the software-fault port, which stops the
+    machine. *)
+
 val builtin_externals : (string * Ctype.t) list
 (** Type signatures of the compiler builtins ([__halt], [__putc],
     [__timer_start], [__timer_read]) for the type checker. *)

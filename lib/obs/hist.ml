@@ -81,6 +81,12 @@ let quantile t q =
   if t.count = 0 then 0
   else begin
     let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    (* the endpoints are tracked exactly; a bucket midpoint can land
+       below the true maximum (or above the true minimum), so answer
+       from the exact fields rather than the lossy buckets *)
+    if q = 0.0 then t.min_v
+    else if q = 1.0 then t.max_v
+    else
     let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
     let i = ref 0 and cum = ref 0 in
     let n = Array.length t.buckets in

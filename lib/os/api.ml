@@ -36,41 +36,17 @@ let names = Array.of_list Amulet_cc.Apis.names
 let service_count = Array.length names
 let service_name svc = if svc >= 0 && svc < service_count then Some names.(svc) else None
 
-(* Modeled service costs in cycles (datasheet-plausible orders of
-   magnitude: sensor FIFO reads, FRAM writes, SPI display traffic).
-   The context-switch cost itself is executed gate code, not charged
-   here, so api_null measures the pure switch. *)
-let base_charge = function
-  | "api_null" -> 0
-  | "api_get_time" -> 6
-  | "api_get_battery" -> 10
-  | "api_read_accel" -> 16
-  | "api_read_accel_xyz" -> 22
-  | "api_read_heart_rate" -> 18
-  | "api_read_ppg" -> 16
-  | "api_read_temperature" -> 14
-  | "api_read_light" -> 12
-  | "api_display_write" -> 52
-  | "api_display_clear" -> 40
-  | "api_button_state" -> 6
-  | "api_led" -> 4
-  | "api_buzz" -> 8
-  | "api_log_append" -> 42
-  | "api_send_ble" -> 72
-  | "api_set_timer" -> 20
-  | "api_cancel_timer" -> 12
-  | "api_subscribe" -> 24
-  | "api_unsubscribe" -> 16
-  | "api_rand" -> 8
-  | _ -> 10
-
-let per_word_charge = 2
+(* Service costs are shared with the static WCET certifier: the table
+   lives in {!Amulet_cc.Apis} so the dynamic charges here and the
+   static per-call upper bounds are views of the same constants. *)
+let base_charge = Amulet_cc.Apis.base_charge
+let per_word_charge = Amulet_cc.Apis.per_word_charge
 
 (* Cycles the kernel spends validating one app-supplied pointer range
    (two bound compares plus the range walk).  Charged at [with_range];
    statically certified call sites ({!Amulet_analysis.Gate_taint})
    skip both the walk and the charge. *)
-let validate_charge = 8
+let validate_charge = Amulet_cc.Apis.validate_charge
 
 let xorshift16 s =
   let s = s lxor (s lsl 7) land 0xFFFF in

@@ -49,6 +49,8 @@ type cell = {
   cl_victim_alive : bool;
   cl_lint_rejected : bool option;
   cl_lint_ok : bool;
+  cl_wcet_checked : int;
+  cl_wcet_violations : int;
   cl_note : string;
   cl_dispatch : Hist.t;
 }
@@ -71,6 +73,8 @@ type summary = {
   s_oracle_failures : int;
   s_lint_failures : int;
   s_nondeterministic : int;
+  s_wcet_checked : int;
+  s_wcet_violations : int;
   s_dispatch : (Iso.mode * Hist.t) list;
 }
 
@@ -191,7 +195,7 @@ let lint_rejects report = report.Lint.l_errors > 0
 
 let run_cell ~attack ~mode ~seed =
   let expected = attack.Attacks.atk_expect mode in
-  let finish ?(lint = None) ?(note = "")
+  let finish ?(lint = None) ?(note = "") ?(wcet = (0, 0))
       ?(dispatch = Hist.create ()) ~observed ~breaches ~breach_count
       ~canary ~os ~alive () =
     let oracle_ok =
@@ -223,6 +227,8 @@ let run_cell ~attack ~mode ~seed =
       cl_victim_alive = alive;
       cl_lint_rejected = lint;
       cl_lint_ok = lint_ok;
+      cl_wcet_checked = fst wcet;
+      cl_wcet_violations = snd wcet;
       cl_note = note;
       cl_dispatch = dispatch;
     }
@@ -265,6 +271,48 @@ let run_cell ~attack ~mode ~seed =
       | Some a -> M.mem_checked_read m Word.W16 a = Attacks.attack_value
     in
     let breach = oracle.breach_count > 0 || (not canary) || not os in
+    (* WCET soundness gate: every dispatch of a CFI-certified app whose
+       handler carries a static bound must finish within it.  A cell
+       where the oracle saw a breach is excluded — a run that escaped
+       the certified control-flow graph voids the premise the static
+       bound is conditional on (same layering as the paper: timing
+       guarantees ride on the isolation guarantees). *)
+    let wcet =
+      if breach then (0, 0)
+      else begin
+        let reports =
+          List.map
+            (fun (b : Aft.app_build) ->
+              let prefix = b.Aft.ab_name in
+              match Amulet_analysis.Cfi.reconstruct ~image ~mode ~prefix with
+              | Ok cfg ->
+                (prefix, Some (Amulet_analysis.Wcet.analyze ~image ~cfg))
+              | Error _ | (exception Invalid_argument _) -> (prefix, None))
+            fw.Aft.fw_apps
+        in
+        List.fold_left
+          (fun (checked, bad) (r : Kernel.dispatch_record) ->
+            match r.Kernel.dr_outcome with
+            | Kernel.No_handler -> (checked, bad)
+            | Kernel.Ok | Kernel.App_fault _ -> (
+              let name =
+                (List.nth fw.Aft.fw_apps r.Kernel.dr_app).Aft.ab_name
+              in
+              match List.assoc name reports with
+              | None -> (checked, bad)
+              | Some w -> (
+                match
+                  Amulet_analysis.Wcet.handler_bound w
+                    (Event.handler_name r.Kernel.dr_kind)
+                with
+                | Some (Amulet_analysis.Wcet.Bounded b) ->
+                  ( checked + 1,
+                    if r.Kernel.dr_cycles > b then bad + 1 else bad )
+                | Some (Amulet_analysis.Wcet.Unbounded _) | None ->
+                  (checked, bad))))
+          (0, 0) records
+      end
+    in
     let gate_rejected =
       match k.Kernel.apps.(ai).Kernel.last_fault with
       | Some msg -> contains ~sub:"rejected by" msg
@@ -296,7 +344,7 @@ let run_cell ~attack ~mode ~seed =
             else if target_hit then (O_leak, "write landed in permitted memory")
             else (O_silent, ""))
     in
-    finish ~lint ~dispatch ~observed ~breaches:oracle.breaches
+    finish ~lint ~wcet ~dispatch ~observed ~breaches:oracle.breaches
       ~breach_count:oracle.breach_count ~canary ~os ~alive ~note ()
 
 (* ------------------------------------------------------------------ *)
@@ -450,6 +498,10 @@ let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
     s_cells;
     s_injections;
     s_dispatch;
+    s_wcet_checked =
+      List.fold_left (fun a c -> a + c.cl_wcet_checked) 0 s_cells;
+    s_wcet_violations =
+      List.fold_left (fun a c -> a + c.cl_wcet_violations) 0 s_cells;
     s_mismatches =
       List.length (List.filter (fun c -> not c.cl_match) s_cells);
     s_oracle_failures =
@@ -463,7 +515,7 @@ let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
 
 let ok s =
   s.s_mismatches = 0 && s.s_oracle_failures = 0 && s.s_lint_failures = 0
-  && s.s_nondeterministic = 0
+  && s.s_nondeterministic = 0 && s.s_wcet_violations = 0
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -497,6 +549,8 @@ let emit_jsonl s oc =
                      | Some true -> "rejected"
                      | Some false -> "accepted") );
                  ("lint_ok", Obs.Vint (if c.cl_lint_ok then 1 else 0));
+                 ("wcet_checked", Obs.Vint c.cl_wcet_checked);
+                 ("wcet_violations", Obs.Vint c.cl_wcet_violations);
                  ("note", Obs.Vstr c.cl_note);
                ];
            }))
@@ -592,6 +646,12 @@ let pp_matrix ppf s =
   end;
   List.iter
     (fun c ->
+      if c.cl_wcet_violations > 0 then
+        Format.fprintf ppf
+          "@.UNSOUND %s under %s: %d of %d dispatches exceeded their static \
+           WCET bound@."
+          c.cl_attack (Iso.name c.cl_mode) c.cl_wcet_violations
+          c.cl_wcet_checked;
       if not (c.cl_match && c.cl_oracle_ok && c.cl_lint_ok) then begin
         Format.fprintf ppf "@.FAIL %s under %s: expected %s, observed %s@."
           c.cl_attack (Iso.name c.cl_mode)
@@ -613,9 +673,12 @@ let pp_matrix ppf s =
       end)
     s.s_cells;
   Format.fprintf ppf
-    "@.%d cells: %d mismatches, %d oracle failures, %d lint failures; %d \
-     injection rows (%d non-deterministic)@."
+    "@.%d cells: %d mismatches, %d oracle failures, %d lint failures; WCET \
+     soundness %d/%d dispatches within bound; %d injection rows (%d \
+     non-deterministic)@."
     (List.length s.s_cells) s.s_mismatches s.s_oracle_failures
     s.s_lint_failures
+    (s.s_wcet_checked - s.s_wcet_violations)
+    s.s_wcet_checked
     (List.length s.s_injections)
     s.s_nondeterministic

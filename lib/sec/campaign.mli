@@ -50,6 +50,16 @@ type cell = {
   cl_lint_rejected : bool option;
       (** static certifier verdict ([None] when the cell never built) *)
   cl_lint_ok : bool;
+  cl_wcet_checked : int;
+      (** dispatches compared against a static WCET bound: every
+          dispatch of a CFI-certified app whose handler the
+          {!Amulet_analysis.Wcet} pass bounded.  0 when the oracle saw
+          a breach — a run that escaped the certified CFG voids the
+          premise the bound is conditional on *)
+  cl_wcet_violations : int;
+      (** of those, dispatches whose observed cycles exceeded the
+          bound; any non-zero value means the static analysis is
+          unsound and fails the campaign *)
   cl_note : string;
   cl_dispatch : Amulet_obs.Hist.t;
       (** per-dispatch cycle costs observed during the cell's run
@@ -78,6 +88,8 @@ type summary = {
   s_oracle_failures : int;
   s_lint_failures : int;
   s_nondeterministic : int;
+  s_wcet_checked : int;  (** total bound-checked dispatches *)
+  s_wcet_violations : int;  (** total above-bound dispatches (0 = sound) *)
   s_dispatch : (Amulet_cc.Isolation.mode * Amulet_obs.Hist.t) list;
       (** per-mode dispatch-cycle distribution, the cells' histograms
           merged losslessly across the parallel domains — identical

@@ -106,6 +106,45 @@ let test_small_values_exact () =
   Alcotest.(check int) "p100 exact" 60 (Hist.quantile h 1.0);
   Alcotest.(check int) "p1 exact" 3 (Hist.quantile h 0.01)
 
+(* q = 0.0 and q = 1.0 must pin to the extreme samples, including for
+   large values where bucketing is lossy: the histogram keeps exact
+   min/max alongside the buckets, so the endpoints must not drift to a
+   bucket midpoint. *)
+let test_quantile_endpoints () =
+  let h = of_list [ 5; 123_456; 999_999_937 ] in
+  Alcotest.(check int) "q=0.0 is the minimum" (Hist.min_value h)
+    (Hist.quantile h 0.0);
+  Alcotest.(check int) "q=1.0 is the maximum" (Hist.max_value h)
+    (Hist.quantile h 1.0);
+  Alcotest.(check int) "q=0.0 exact" 5 (Hist.quantile h 0.0);
+  Alcotest.(check int) "q=1.0 exact" 999_999_937 (Hist.quantile h 1.0)
+
+let test_merge_with_empty () =
+  let h = of_list [ 42; 7; 100_000 ] in
+  let e = Hist.create () in
+  Alcotest.(check bool) "h ∪ ∅ = h" true (Hist.equal h (Hist.merge h e));
+  Alcotest.(check bool) "∅ ∪ h = h" true (Hist.equal h (Hist.merge e h));
+  (* merge must not mutate its arguments *)
+  Alcotest.(check bool) "∅ untouched by merge" true (Hist.is_empty e);
+  Alcotest.(check int) "h untouched by merge" 3 (Hist.count h)
+
+let test_single_sample () =
+  let h = of_list [ 77_000 ] in
+  Alcotest.(check int) "count" 1 (Hist.count h);
+  Alcotest.(check int) "sum" 77_000 (Hist.sum h);
+  Alcotest.(check int) "min = the sample" 77_000 (Hist.min_value h);
+  Alcotest.(check int) "max = the sample" 77_000 (Hist.max_value h);
+  (* every quantile of a one-sample distribution is that sample up to
+     bucket resolution; the endpoints are exact *)
+  Alcotest.(check int) "q=0.0" 77_000 (Hist.quantile h 0.0);
+  Alcotest.(check int) "q=1.0" 77_000 (Hist.quantile h 1.0);
+  let p50 = Hist.quantile h 0.5 in
+  Alcotest.(check bool) "p50 within bucket width" true
+    (abs (p50 - 77_000) <= (77_000 / 8) + 1);
+  let a = of_list [ 9 ] and b = of_list [ 9 ] in
+  Alcotest.(check bool) "two singletons merge losslessly" true
+    (Hist.equal (of_list [ 9; 9 ]) (Hist.merge a b))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "hist"
@@ -125,5 +164,9 @@ let () =
           Alcotest.test_case "record_n" `Quick test_record_n;
           Alcotest.test_case "small values exact" `Quick
             test_small_values_exact;
+          Alcotest.test_case "quantile endpoints" `Quick
+            test_quantile_endpoints;
+          Alcotest.test_case "merge with empty" `Quick test_merge_with_empty;
+          Alcotest.test_case "single sample" `Quick test_single_sample;
         ] );
     ]
