@@ -331,6 +331,69 @@ let run_injector_zero_cost () =
      profiler reports byte-identical (asserted)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Predecode engine: the block cache must be invisible to simulated
+   state.  Three runs of the same workload: hooks-off (block engine,
+   warm cache), a no-op watcher (the reference per-instruction
+   stepper), and hooks-off with the cache dropped every 100 virtual ms
+   (every block decodes cold, so a decoder that charged cycles or
+   perturbed state would show up).  Cycles, every dispatch record and
+   the console must be byte-identical across all three. *)
+
+let run_predecode_identity () =
+  section "Predecode: fast path, reference path, cold and warm caches agree";
+  let module Aft = Amulet_aft.Aft in
+  let module Os = Amulet_os in
+  let module Apps = Amulet_apps.Suite in
+  let module M = Amulet_mcu.Machine in
+  let app = List.find (fun a -> a.Apps.name = "pedometer") Apps.all in
+  let seconds = 5 in
+  let mk () =
+    let fw =
+      Aft.build ~mode:Iso.Mpu_assisted [ Apps.spec_for Iso.Mpu_assisted app ]
+    in
+    Os.Kernel.create ~scenario:Os.Sensors.Walking fw
+  in
+  (* run in 100 ms slices ([run_for_ms] composes exactly: the deadline
+     accumulates), calling [between] at every slice boundary *)
+  let run ~between k =
+    let records = ref [] in
+    for _ = 1 to seconds * 10 do
+      between k;
+      records := List.rev_append (Os.Kernel.run_for_ms k 100) !records
+    done;
+    ( Amulet_mcu.Machine.cycles k.Os.Kernel.machine,
+      List.rev !records,
+      Amulet_mcu.Machine.console_contents k.Os.Kernel.machine )
+  in
+  let nothing _ = () in
+  let warm = run ~between:nothing (mk ()) in
+  let slow_k = mk () in
+  M.add_watch slow_k.Os.Kernel.machine (fun _ -> ());
+  let slow = run ~between:nothing slow_k in
+  let cold =
+    run ~between:(fun k -> Hashtbl.reset k.Os.Kernel.machine.M.blocks) (mk ())
+  in
+  let wc, wr, wcon = warm in
+  let check label (c, r, con) =
+    if c <> wc then
+      failwith
+        (Printf.sprintf "predecode %s run diverged: %d cycles vs %d warm"
+           label c wc);
+    if r <> wr then
+      failwith (Printf.sprintf "predecode %s run: dispatch records diverged"
+                  label);
+    if not (String.equal con wcon) then
+      failwith (Printf.sprintf "predecode %s run: console diverged" label)
+  in
+  check "reference-stepper" slow;
+  check "cold-cache" cold;
+  Printf.printf
+    "pedometer, mpu mode, %d virtual s: %d cycles warm-cache, identical\n\
+     under the reference stepper and with the cache dropped every 100 ms\n\
+     (%d dispatch records byte-identical, asserted)\n"
+    seconds wc (List.length wr)
+
+(* ------------------------------------------------------------------ *)
 (* Perf-trajectory snapshot: BENCH_gateheavy.json.
 
    One machine-readable record per PR so the simulator-speed and
@@ -451,7 +514,8 @@ let () =
     run_figure2 ();
     run_ablations ();
     run_observability ();
-    run_injector_zero_cost ()
+    run_injector_zero_cost ();
+    run_predecode_identity ()
   end;
   run_gateheavy_snapshot ();
   if not snapshot_only then bechamel_benches ();

@@ -8,6 +8,7 @@
 
 module Iso = Amulet_cc.Isolation
 module Schema = Amulet_bench_core.Schema
+module Stats = Amulet_bench_core.Stats
 module Runner = Amulet_bench_core.Runner
 open Cmdliner
 
@@ -104,6 +105,81 @@ let run_cmd quick trials dispatches warmup modes out compare threshold
               ~rate_threshold
       in
       if regressed then exit 1
+
+(* speedup: gate the hooks-off (predecoded fast path) throughput
+   against a committed baseline snapshot.  The floor is a ratio, not a
+   noise threshold: the fast path must stay at least MIN_RATIO times
+   faster than the baseline's throughput for the same mode.  A
+   pre-predecode baseline carries only armed rows, so the baseline row
+   is the mode's hooks-off row when present and the armed row
+   otherwise. *)
+
+let find_row doc name =
+  List.find_opt
+    (fun r -> String.equal r.Schema.m_mode name)
+    doc.Schema.d_modes
+
+let row_median r = r.Schema.m_rate.Schema.r_summary.Stats.median
+
+let speedup_cmd baseline_path min_ratio quick trials dispatches warmup modes
+    out =
+  let modes =
+    match modes with
+    | [] -> [ Iso.No_isolation ]
+    | names -> (
+        match parse_modes names with
+        | Ok ms -> ms
+        | Error bad ->
+            Format.eprintf "amulet_bench: unknown mode %S (known: %s)@." bad
+              (String.concat ", " (List.map Iso.name Iso.all));
+            exit 2)
+  in
+  let baseline = read_baseline baseline_path in
+  let doc, _runs =
+    Runner.run_speedup ~modes ?trials ?dispatches ?warmup ~quick ()
+  in
+  Format.printf "%a" Runner.pp_doc doc;
+  (match out with
+  | Some path ->
+      Schema.write_file path doc;
+      Format.printf "wrote %s (schema %d)@." path doc.Schema.d_schema
+  | None -> ());
+  let ok_mode mode =
+    let name = Iso.name mode in
+    let fast_name = name ^ Runner.hooks_off_suffix in
+    let current =
+      match find_row doc fast_name with
+      | Some r -> row_median r
+      | None ->
+          Format.eprintf "amulet_bench: run produced no %S row@." fast_name;
+          exit 2
+    in
+    let base_row =
+      match find_row baseline fast_name with
+      | Some r -> r
+      | None -> (
+          match find_row baseline name with
+          | Some r -> r
+          | None ->
+              Format.eprintf "amulet_bench: baseline %s has no %S or %S row@."
+                baseline_path fast_name name;
+              exit 2)
+    in
+    let base = row_median base_row in
+    let ratio = if base > 0.0 then current /. base else infinity in
+    Format.printf
+      "%-28s %12.4e cyc/s  vs baseline %-24s %12.4e  ->  %6.1fx (floor %.1fx)@."
+      fast_name current base_row.Schema.m_mode base ratio min_ratio;
+    ratio >= min_ratio
+  in
+  let verdicts = List.map ok_mode modes in
+  if List.exists not verdicts then begin
+    Format.printf
+      "SPEEDUP FLOOR VIOLATED: hooks-off throughput under %.1fx the baseline@."
+      min_ratio;
+    exit 1
+  end
+  else Format.printf "speedup floor holds (>= %.1fx baseline)@." min_ratio
 
 let diff_cmd new_path base_path threshold rate_threshold =
   let current = read_baseline new_path in
@@ -206,6 +282,33 @@ let diff_info =
   Cmd.info "diff"
     ~doc:"Compare two existing snapshots without running the benchmark."
 
+let speedup_term =
+  let baseline_pos =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"BASELINE"
+          ~doc:
+            "Committed baseline BENCH_*.json; the hooks-off run must beat \
+             its per-mode throughput by the floor ratio.")
+  in
+  let min_ratio =
+    Arg.(
+      value & opt float 5.0
+      & info [ "min-ratio" ] ~docv:"X"
+          ~doc:"Fail (exit 1) if hooks-off throughput < $(docv) times the \
+                baseline's.")
+  in
+  Term.(
+    const speedup_cmd $ baseline_pos $ min_ratio $ quick $ trials $ dispatches
+    $ warmup $ modes $ out)
+
+let speedup_info =
+  Cmd.info "speedup"
+    ~doc:
+      "Run the hooks-off (predecoded fast path) benchmark and enforce the \
+       speedup floor against a committed baseline."
+
 let () =
   let default = run_term in
   let info =
@@ -217,4 +320,8 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ Cmd.v run_info run_term; Cmd.v diff_info diff_term ]))
+          [
+            Cmd.v run_info run_term;
+            Cmd.v diff_info diff_term;
+            Cmd.v speedup_info speedup_term;
+          ]))

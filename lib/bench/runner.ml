@@ -21,6 +21,7 @@ type mode_run = {
 }
 
 let host_services_slug = "host_services"
+let hooks_off_suffix = "+hooks-off"
 
 let run_mode ?(warmup = 100) ~trials ~dispatches mode =
   let fw = Aft.build ~mode [ Apps.spec_for mode Apps.gateheavy ] in
@@ -91,6 +92,52 @@ let run_mode ?(warmup = 100) ~trials ~dispatches mode =
     mr_measured_dispatches = trials * dispatches;
   }
 
+(* Same workload with no observability attached: the machine runs on
+   the predecoded-block fast path.  Simulated cycles per trial must be
+   byte-identical to the armed run — [run] asserts it — so the only
+   thing these rows add is the host-side throughput of the fast
+   engine. *)
+let run_mode_hooks_off ?(warmup = 100) ~trials ~dispatches mode =
+  let fw = Aft.build ~mode [ Apps.spec_for mode Apps.gateheavy ] in
+  let k = Os.Kernel.create ~scenario:Os.Sensors.Walking fw in
+  let _ = Os.Kernel.run_for_ms k 5 in
+  let m = k.Os.Kernel.machine in
+  let post_button () =
+    Os.Kernel.post k ~delay_ms:0 ~app:0 (Os.Event.Button 1) ~arg:1
+  in
+  let dispatch_once () =
+    post_button ();
+    ignore (Os.Kernel.dispatch_next k)
+  in
+  for _ = 1 to 4 do
+    post_button ()
+  done;
+  for _ = 1 to warmup do
+    dispatch_once ()
+  done;
+  let rates = Array.make trials 0.0 in
+  let trial_cycles = Array.make trials 0 in
+  for t = 0 to trials - 1 do
+    let c0 = M.cycles m in
+    let t0 = Sys.time () in
+    for _ = 1 to dispatches do
+      dispatch_once ()
+    done;
+    let host_s = max (Sys.time () -. t0) 1e-9 in
+    let cyc = M.cycles m - c0 in
+    rates.(t) <- float_of_int cyc /. host_s;
+    trial_cycles.(t) <- cyc
+  done;
+  {
+    mr_mode = mode;
+    mr_rates = rates;
+    mr_trial_cycles = trial_cycles;
+    mr_latency = Hist.create ();
+    mr_handler = Hist.create ();
+    mr_class_cycles = [];
+    mr_measured_dispatches = trials * dispatches;
+  }
+
 let host_meta () =
   List.concat
     [
@@ -104,6 +151,13 @@ let host_meta () =
       | None -> []);
     ]
 
+let cycles_per_dispatch (r : mode_run) =
+  if r.mr_measured_dispatches = 0 then 0.0
+  else
+    Stats.median (Array.map float_of_int r.mr_trial_cycles)
+    *. float_of_int (Array.length r.mr_trial_cycles)
+    /. float_of_int r.mr_measured_dispatches
+
 let mode_row (r : mode_run) =
   let total_cycles =
     List.fold_left (fun acc (_, c) -> acc + c) 0 r.mr_class_cycles
@@ -115,12 +169,7 @@ let mode_row (r : mode_run) =
         Schema.r_summary = Stats.summarize r.mr_rates;
         r_trials = Array.to_list r.mr_rates;
       };
-    m_cycles_per_dispatch =
-      (if r.mr_measured_dispatches = 0 then 0.0
-       else
-         Stats.median (Array.map float_of_int r.mr_trial_cycles)
-         *. float_of_int (Array.length r.mr_trial_cycles)
-         /. float_of_int r.mr_measured_dispatches);
+    m_cycles_per_dispatch = cycles_per_dispatch r;
     m_latency = Some r.mr_latency;
     m_handler = Some r.mr_handler;
     m_class_cycles = r.mr_class_cycles;
@@ -130,6 +179,23 @@ let mode_row (r : mode_run) =
          Some
            (Energy.joules_of_cycles total_cycles
             /. float_of_int r.mr_measured_dispatches));
+  }
+
+(* No profiler in a hooks-off run, so latency/handler histograms and
+   the class breakdown are absent rather than empty-but-present. *)
+let hooks_off_row (r : mode_run) =
+  {
+    Schema.m_mode = Iso.name r.mr_mode ^ hooks_off_suffix;
+    m_rate =
+      {
+        Schema.r_summary = Stats.summarize r.mr_rates;
+        r_trials = Array.to_list r.mr_rates;
+      };
+    m_cycles_per_dispatch = cycles_per_dispatch r;
+    m_latency = None;
+    m_handler = None;
+    m_class_cycles = [];
+    m_energy_per_dispatch_j = None;
   }
 
 let gate_costs ~runs () =
@@ -153,6 +219,22 @@ let gate_costs ~runs () =
         cert;
   }
 
+(* The armed and hooks-off runs drive identical workloads, so their
+   simulated cycle trajectories must agree exactly: the fast engine is
+   not allowed to change what the machine computes, only how fast the
+   host gets there. *)
+let assert_identity (armed : mode_run) (fast : mode_run) =
+  if armed.mr_trial_cycles <> fast.mr_trial_cycles then
+    failwith
+      (Format.asprintf
+         "predecode identity violated (%s): armed trial cycles [%s] <> \
+          hooks-off [%s]"
+         (Iso.name armed.mr_mode)
+         (String.concat ";"
+            (List.map string_of_int (Array.to_list armed.mr_trial_cycles)))
+         (String.concat ";"
+            (List.map string_of_int (Array.to_list fast.mr_trial_cycles))))
+
 let run ?(modes = Iso.all) ?trials ?dispatches ?warmup ?gate_runs ~quick () =
   let dflt q f = Option.value ~default:(if quick then q else f) in
   let trials = dflt 3 5 trials in
@@ -160,6 +242,8 @@ let run ?(modes = Iso.all) ?trials ?dispatches ?warmup ?gate_runs ~quick () =
   let warmup = dflt 50 200 warmup in
   let gate_runs = dflt 10 50 gate_runs in
   let runs = List.map (run_mode ~warmup ~trials ~dispatches) modes in
+  let fast = List.map (run_mode_hooks_off ~warmup ~trials ~dispatches) modes in
+  List.iter2 assert_identity runs fast;
   let doc =
     {
       Schema.d_schema = 2;
@@ -169,11 +253,35 @@ let run ?(modes = Iso.all) ?trials ?dispatches ?warmup ?gate_runs ~quick () =
       d_dispatches = dispatches;
       d_warmup = warmup;
       d_host = host_meta ();
-      d_modes = List.map mode_row runs;
+      d_modes = List.map mode_row runs @ List.map hooks_off_row fast;
       d_gate = gate_costs ~runs:gate_runs ();
     }
   in
   (doc, runs)
+
+(* Hooks-off only, for the CI speedup floor: cheap, no profiler, no
+   gate-cost ablations. *)
+let run_speedup ?(modes = [ Iso.No_isolation ]) ?trials ?dispatches ?warmup
+    ~quick () =
+  let dflt q f = Option.value ~default:(if quick then q else f) in
+  let trials = dflt 3 5 trials in
+  let dispatches = dflt 300 1500 dispatches in
+  let warmup = dflt 50 200 warmup in
+  let fast = List.map (run_mode_hooks_off ~warmup ~trials ~dispatches) modes in
+  let doc =
+    {
+      Schema.d_schema = 2;
+      d_bench = "gateheavy";
+      d_quick = quick;
+      d_trials = trials;
+      d_dispatches = dispatches;
+      d_warmup = warmup;
+      d_host = host_meta ();
+      d_modes = List.map hooks_off_row fast;
+      d_gate = { Schema.g_ctx_switch = []; g_cert = [] };
+    }
+  in
+  (doc, fast)
 
 let pp_doc ppf (d : Schema.doc) =
   Format.fprintf ppf

@@ -26,6 +26,17 @@ type mode_run = {
 val run_mode :
   ?warmup:int -> trials:int -> dispatches:int -> Iso.mode -> mode_run
 
+val run_mode_hooks_off :
+  ?warmup:int -> trials:int -> dispatches:int -> Iso.mode -> mode_run
+(** Same workload with no observability attached, so the machine runs
+    on the predecoded-block fast path.  Simulated cycles are
+    byte-identical to {!run_mode} (asserted by {!run}); only the host
+    throughput differs.  Latency/handler histograms are empty and the
+    class breakdown absent — there is no profiler to fill them. *)
+
+val hooks_off_suffix : string
+(** ["+hooks-off"], appended to the mode name in snapshot rows. *)
+
 val host_meta : unit -> (string * string) list
 (** OCaml version, OS, word size, hostname when known. *)
 
@@ -38,10 +49,23 @@ val run :
   quick:bool ->
   unit ->
   Schema.doc * mode_run list
-(** Full run: every mode plus the deterministic gate costs
-    (context-switch cycles and the gate-certification ablation).
-    Unspecified parameters default per [quick]:
-    quick = 3 trials × 300 dispatches, full = 5 × 1500. *)
+(** Full run: every mode armed, every mode hooks-off (with the
+    simulated-cycle identity between the two asserted), plus the
+    deterministic gate costs (context-switch cycles and the
+    gate-certification ablation).  Unspecified parameters default per
+    [quick]: quick = 3 trials × 300 dispatches, full = 5 × 1500. *)
+
+val run_speedup :
+  ?modes:Iso.mode list ->
+  ?trials:int ->
+  ?dispatches:int ->
+  ?warmup:int ->
+  quick:bool ->
+  unit ->
+  Schema.doc * mode_run list
+(** Hooks-off rows only (default: no-isolation), for the CI speedup
+    floor — no profiler, no gate ablations, so it is cheap enough to
+    run on every push. *)
 
 val pp_doc : Format.formatter -> Schema.doc -> unit
 (** Human-readable per-mode table (throughput median ± MAD,

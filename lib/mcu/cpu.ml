@@ -64,10 +64,14 @@ let apply_flags t width (f : Alu.flags) =
   Registers.set_overflow t.regs f.Alu.v;
   ignore width
 
-let push_word t v =
+(* SP always moves down a full word, even for PUSH.B; the store itself
+   is [width]-sized, leaving the high byte of the slot untouched. *)
+let push t width v =
   let sp = Registers.get_sp t.regs - 2 in
   Registers.set_sp t.regs sp;
-  t.bus.write Word.W16 sp v
+  t.bus.write width sp v
+
+let push_word t v = push t Word.W16 v
 
 let cond_true regs = function
   | Opcode.JNE -> not (Registers.zero regs)
@@ -115,9 +119,7 @@ let exec_fmt2 t op width src ~src_ext_addr =
     apply_flags t Word.W16 f
   | Opcode.PUSH ->
     let v = read_place t width splace in
-    let sp = Registers.get_sp t.regs - 2 in
-    Registers.set_sp t.regs sp;
-    t.bus.write width sp v
+    push t width v
   | Opcode.CALL ->
     let target = read_place t Word.W16 splace in
     push_word t (Registers.get_pc t.regs);

@@ -28,5 +28,31 @@ val step : t -> Opcode.t
     whatever the bus raises on a faulting access, and
     {!Decode.Illegal} on an undecodable word. *)
 
+(** {2 Execution primitives}
+
+    The per-form executors behind {!step}, exposed so the machine's
+    predecoded-block engine can run instructions it has already
+    decoded without re-entering fetch/decode.  Both engines share this
+    exact code, so their semantics cannot drift.  Callers must have
+    advanced PC past the instruction first (as {!step} does) and pass
+    the extension-word addresses that fetch would have used. *)
+
+val exec_fmt1 :
+  t ->
+  Opcode.op2 ->
+  Word.width ->
+  Opcode.src ->
+  Opcode.dst ->
+  src_ext_addr:int ->
+  dst_ext_addr:int ->
+  unit
+
+val exec_fmt2 :
+  t -> Opcode.op1 -> Word.width -> Opcode.src -> src_ext_addr:int -> unit
+
+val exec_reti : t -> unit
+
+val cond_true : Registers.t -> Opcode.cond -> bool
+
 val call_depth_hint : t -> int
 (** Stack pointer value, useful to assert stack discipline in tests. *)

@@ -62,6 +62,8 @@ type t = {
   mutable emit_hook : (Trace.event -> unit) option;
   mutable in_step : bool;
   mutable extra_cycles : int;
+  blocks : (int, Predecode.block) Hashtbl.t;
+  mutable code_drained : int;
 }
 
 let host_call_port = 0x01F0
@@ -198,6 +200,8 @@ let create () =
       emit_hook = None;
       in_step = false;
       extra_cycles = 0;
+      blocks = Hashtbl.create 256;
+      code_drained = 0;
     }
   in
   self := Some t;
@@ -215,6 +219,9 @@ let reset t =
   Trace.reset_stats t.stats;
   t.extra_cycles <- 0;
   Buffer.clear t.console;
+  Hashtbl.reset t.blocks;
+  Memory.clear_code_watches t.mem;
+  t.code_drained <- Memory.code_gen t.mem;
   Registers.set_pc (regs t) (Memory.read_word t.mem Memory_map.reset_vector);
   Registers.set_sp (regs t) Memory_map.sram_limit
 
@@ -247,21 +254,160 @@ let step t =
   t.in_step <- false;
   result
 
+(* ------------------------------------------------------------------ *)
+(* Tier 2: predecoded basic-block execution.                          *)
+(*                                                                    *)
+(* [run] dispatches through a cache of predecoded blocks whenever no  *)
+(* hook is armed.  The moment any step hook or event watcher is       *)
+(* installed — profiler, fault injector, campaign oracle — it falls   *)
+(* back to [step], the reference per-instruction path, so armed runs  *)
+(* observe the exact semantics they always did.  Both paths execute   *)
+(* instructions through the same [Cpu] code and charge the same       *)
+(* [Cycles.cycles], so simulated state is byte-identical either way.  *)
+(* ------------------------------------------------------------------ *)
+
+let hooks_armed t =
+  (match t.on_step with Some _ -> true | None -> false)
+  || match t.on_event with Some _ -> true | None -> false
+
+(* Drop cached blocks overlapping spans written since the last drain.
+   One integer compare when nothing changed. *)
+let sync_code_cache t =
+  if Memory.code_gen t.mem <> t.code_drained then begin
+    let spans = Memory.take_dirty_code t.mem in
+    t.code_drained <- Memory.code_gen t.mem;
+    let stale =
+      Hashtbl.fold
+        (fun pc (b : Predecode.block) acc ->
+          if
+            List.exists
+              (fun (a, l) -> a < b.Predecode.b_hi && a + l > b.Predecode.b_lo)
+              spans
+          then pc :: acc
+          else acc)
+        t.blocks []
+    in
+    List.iter (Hashtbl.remove t.blocks) stale
+  end
+
+let block_at t pc =
+  match Hashtbl.find_opt t.blocks pc with
+  | Some b -> b
+  | None ->
+    let b = Predecode.build ~read_word:(Memory.read_word t.mem) ~pc in
+    Memory.watch_code_span t.mem ~lo:b.Predecode.b_lo ~hi:b.Predecode.b_hi;
+    Hashtbl.replace t.blocks pc b;
+    b
+
+(* Mirror of [Cpu.step] minus fetch/decode: PC advances past the
+   instruction first, then the shared executors run, then cost is
+   charged — so a fault mid-execution leaves registers, statistics and
+   cycle counts exactly as the slow path would. *)
+let exec_uop t (u : Predecode.uop) =
+  let cpu = t.cpu in
+  Registers.set_pc cpu.Cpu.regs (u.Predecode.u_pc + u.Predecode.u_len);
+  (match u.Predecode.u_instr with
+  | Opcode.Fmt1 (op, width, src, dst) ->
+    Cpu.exec_fmt1 cpu op width src dst ~src_ext_addr:u.Predecode.u_src_ext
+      ~dst_ext_addr:u.Predecode.u_dst_ext
+  | Opcode.Fmt2 (op, width, src) ->
+    Cpu.exec_fmt2 cpu op width src ~src_ext_addr:u.Predecode.u_src_ext
+  | Opcode.Jump (c, _) ->
+    if Cpu.cond_true cpu.Cpu.regs c then
+      Registers.set_pc cpu.Cpu.regs u.Predecode.u_target
+  | Opcode.Reti -> Cpu.exec_reti cpu);
+  cpu.Cpu.cycles <- cpu.Cpu.cycles + u.Predecode.u_cost;
+  cpu.Cpu.insns <- cpu.Cpu.insns + 1
+
+(* Run uops from a block until it ends or something demands the
+   per-instruction path.  Returns the fault, if one was raised.
+
+   Exec-permission handling: while [b_mpu_gen] matches the live MPU
+   generation, every instruction word is known Allowed and fetch words
+   are bulk-counted; otherwise each word is re-checked in fetch order,
+   counting words only after their check passes — the slow path's
+   exact fault/statistics ordering.  The generation is re-read per
+   uop, so an instruction that reconfigures the MPU demotes the rest
+   of its own block to careful mode. *)
+let run_block t (b : Predecode.block) budget =
+  t.emit_hook <- None;
+  t.in_step <- true;
+  let entry_gen = Mpu.gen t.mpu in
+  let unvalidated = b.Predecode.b_mpu_gen <> entry_gen in
+  let mem_gen0 = Memory.code_gen t.mem in
+  let uops = b.Predecode.b_uops in
+  let n = Array.length uops in
+  let stats = t.stats in
+  let fault = ref None in
+  let i = ref 0 in
+  (try
+     let continue = ref true in
+     while !continue && !i < n do
+       let u = Array.unsafe_get uops !i in
+       if b.Predecode.b_mpu_gen = Mpu.gen t.mpu then
+         stats.Trace.fetch_words <-
+           stats.Trace.fetch_words + u.Predecode.u_words
+       else
+         for w = 0 to u.Predecode.u_words - 1 do
+           mpu_check t Mpu.Exec ((u.Predecode.u_pc + (2 * w)) land 0xFFFF);
+           stats.Trace.fetch_words <- stats.Trace.fetch_words + 1
+         done;
+       exec_uop t u;
+       decr budget;
+       incr i;
+       (* Instruction boundary: leave the fast loop the moment state
+          demands attention — halt/fault ports, a hook armed by a host
+          call, a write into predecoded code (even this block's own
+          bytes), or exhausted fuel. *)
+       if
+         t.halted
+         || t.sw_fault <> None
+         || hooks_armed t
+         || Memory.code_gen t.mem <> mem_gen0
+         || !budget = 0
+       then continue := false
+     done;
+     if unvalidated && !i = n && Mpu.gen t.mpu = entry_gen then
+       b.Predecode.b_mpu_gen <- entry_gen
+   with Fault f -> fault := Some f);
+  t.in_step <- false;
+  !fault
+
 let run ?(fuel = 10_000_000) t =
-  let rec loop budget =
+  let budget = ref fuel in
+  let rec loop () =
     if t.halted then Halted
     else
       match t.sw_fault with
       | Some code -> Sw_fault code
       | None ->
-        if budget = 0 then Out_of_fuel
-        else begin
+        if !budget = 0 then Out_of_fuel
+        else if hooks_armed t then begin
           match step t with
-          | Ok _ -> loop (budget - 1)
+          | Ok _ ->
+            decr budget;
+            loop ()
           | Error f -> Faulted f
         end
+        else begin
+          sync_code_cache t;
+          let b = block_at t (pc_of t) in
+          if Array.length b.Predecode.b_uops = 0 then begin
+            (* Not predecodable here (MMIO fetch, illegal word, wrap):
+               one reference step does exactly what decode would. *)
+            match step t with
+            | Ok _ ->
+              decr budget;
+              loop ()
+            | Error f -> Faulted f
+          end
+          else
+            match run_block t b budget with
+            | None -> loop ()
+            | Some f -> Faulted f
+        end
   in
-  loop fuel
+  loop ()
 
 let mem_checked_read t width addr = Memory.read t.mem width addr
 let mem_checked_write t width addr v = Memory.write t.mem width addr v

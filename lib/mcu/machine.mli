@@ -61,6 +61,12 @@ type t = {
   mutable in_step : bool;  (** internal: an instruction is in flight *)
   mutable extra_cycles : int;
       (** cycles charged by host services, included in {!cycles} *)
+  blocks : (int, Predecode.block) Hashtbl.t;
+      (** internal: predecoded basic-block cache, keyed by entry pc;
+          {!run} maintains it — do not touch *)
+  mutable code_drained : int;
+      (** internal: the {!Memory.code_gen} up to which [blocks] has
+          been invalidated against code writes *)
 }
 
 val host_call_port : int
@@ -95,7 +101,24 @@ val step : t -> (Opcode.t, fault) result
 
 val run : ?fuel:int -> t -> stop_reason
 (** Run until halt, fault, software fault, or [fuel] instructions
-    (default 10 million). *)
+    (default 10 million).
+
+    Two-tier engine.  While no step hook and no event watcher is
+    installed, instructions execute from a cache of predecoded basic
+    blocks ({!Predecode}): decoded once, chained to the next control
+    transfer, with per-word MPU execute checks elided while the MPU
+    configuration generation is unchanged.  The moment any hook is
+    armed — profiler, fault injector, watchpoint — dispatch falls
+    back to {!step}, the reference per-instruction path, at the next
+    instruction boundary.  Both tiers run the same {!Cpu} executors
+    and charge the same {!Cycles.cycles}, so registers, memory,
+    statistics, cycle counts and faults are identical instruction for
+    instruction (asserted by the differential lockstep tests and the
+    bench identity runs).
+
+    The cache is invalidated by writes into predecoded code spans
+    (tracked by {!Memory.code_gen}; self-modifying code re-decodes
+    before its next instruction executes) and cleared by {!reset}. *)
 
 val add_watch : t -> (Trace.event -> unit) -> unit
 (** Install an event watcher, composing with (running after) any hook

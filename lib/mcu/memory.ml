@@ -1,20 +1,67 @@
-type t = Bytes.t
+(* Raw byte store plus code-write tracking for the predecode cache.
 
-let create () = Bytes.make Memory_map.address_space '\000'
+   The machine registers "watched" pages (256 B each) covering every
+   byte span it has predecoded.  Writes that land in a watched page
+   bump [code_gen] and record a dirty span; the block-dispatch loop
+   drains those spans and flushes overlapping cache lines before the
+   next block runs.  Unwatched writes cost one byte load and a
+   compare — the data path stays flat. *)
 
-let read_byte t addr = Char.code (Bytes.get t (addr land 0xFFFF))
+type t = {
+  data : Bytes.t;
+  watched : Bytes.t; (* one flag byte per 256 B page *)
+  mutable code_gen : int;
+  mutable dirty : (int * int) list; (* (addr, len) spans hitting watched pages *)
+}
+
+let pages = Memory_map.address_space lsr 8
+
+let create () =
+  {
+    data = Bytes.make Memory_map.address_space '\000';
+    watched = Bytes.make pages '\000';
+    code_gen = 0;
+    dirty = [];
+  }
+
+(* [addr] must already be masked; a word write is aligned down so both
+   its bytes share a page and one flag probe covers them. *)
+let note t addr len =
+  if Bytes.unsafe_get t.watched (addr lsr 8) <> '\000' then begin
+    t.code_gen <- t.code_gen + 1;
+    t.dirty <- (addr, len) :: t.dirty
+  end
+
+let note_span t ~addr ~len =
+  if len > 0 then begin
+    let p1 = min ((addr + len - 1) lsr 8) (pages - 1) in
+    let hit = ref false in
+    for p = addr lsr 8 to p1 do
+      if Bytes.unsafe_get t.watched p <> '\000' then hit := true
+    done;
+    if !hit then begin
+      t.code_gen <- t.code_gen + 1;
+      t.dirty <- (addr, len) :: t.dirty
+    end
+  end
+
+let read_byte t addr = Char.code (Bytes.get t.data (addr land 0xFFFF))
 
 let write_byte t addr v =
-  Bytes.set t (addr land 0xFFFF) (Char.chr (v land 0xFF))
+  let addr = addr land 0xFFFF in
+  note t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
 
 let read_word t addr =
   let addr = addr land 0xFFFE in
-  read_byte t addr lor (read_byte t (addr + 1) lsl 8)
+  Char.code (Bytes.get t.data addr)
+  lor (Char.code (Bytes.get t.data (addr + 1)) lsl 8)
 
 let write_word t addr v =
   let addr = addr land 0xFFFE in
-  write_byte t addr (v land 0xFF);
-  write_byte t (addr + 1) ((v lsr 8) land 0xFF)
+  note t addr 2;
+  Bytes.set t.data addr (Char.chr (v land 0xFF));
+  Bytes.set t.data (addr + 1) (Char.chr ((v lsr 8) land 0xFF))
 
 let read t width addr =
   match width with Word.W8 -> read_byte t addr | Word.W16 -> read_word t addr
@@ -24,12 +71,40 @@ let write t width addr v =
   | Word.W8 -> write_byte t addr v
   | Word.W16 -> write_word t addr v
 
-let blit t ~addr src = Bytes.blit src 0 t addr (Bytes.length src)
+let blit t ~addr src =
+  note_span t ~addr ~len:(Bytes.length src);
+  Bytes.blit src 0 t.data addr (Bytes.length src)
 
 let blit_words t ~addr words =
   List.iteri (fun i w -> write_word t (addr + (2 * i)) w) words
 
 let fill t ~addr ~len ~value =
-  Bytes.fill t addr len (Char.chr (value land 0xFF))
+  note_span t ~addr ~len;
+  Bytes.fill t.data addr len (Char.chr (value land 0xFF))
 
-let copy = Bytes.copy
+let copy t =
+  {
+    data = Bytes.copy t.data;
+    watched = Bytes.make pages '\000';
+    code_gen = 0;
+    dirty = [];
+  }
+
+let equal a b = Bytes.equal a.data b.data
+
+let code_gen t = t.code_gen
+
+let watch_code_span t ~lo ~hi =
+  if hi > lo then
+    for p = lo lsr 8 to min ((hi - 1) lsr 8) (pages - 1) do
+      Bytes.unsafe_set t.watched p '\001'
+    done
+
+let take_dirty_code t =
+  let d = t.dirty in
+  t.dirty <- [];
+  d
+
+let clear_code_watches t =
+  Bytes.fill t.watched 0 pages '\000';
+  t.dirty <- []

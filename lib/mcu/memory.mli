@@ -28,4 +28,30 @@ val blit_words : t -> addr:int -> int list -> unit
 val fill : t -> addr:int -> len:int -> value:int -> unit
 
 val copy : t -> t
-(** Deep copy (for snapshot/restore in tests). *)
+(** Deep copy (for snapshot/restore in tests).  The copy starts with
+    fresh code-write tracking: no watched pages, no pending spans. *)
+
+val equal : t -> t -> bool
+(** Byte-for-byte content equality (tracking state is ignored). *)
+
+(** {2 Code-write tracking}
+
+    Support for the machine's predecoded-block cache.  The machine
+    watches every byte span it predecodes; writes landing in a watched
+    256 B page bump {!code_gen} and queue a dirty span.  The dispatch
+    loop compares generations (one integer) per block, and only walks
+    {!take_dirty_code} when something actually changed. *)
+
+val code_gen : t -> int
+(** Monotonic counter, bumped by every write into a watched page. *)
+
+val watch_code_span : t -> lo:int -> hi:int -> unit
+(** Mark the pages covering byte range [\[lo, hi)] as containing
+    predecoded code. *)
+
+val take_dirty_code : t -> (int * int) list
+(** Return and clear the queued [(addr, len)] spans written into
+    watched pages since the last call. *)
+
+val clear_code_watches : t -> unit
+(** Drop all watched pages and pending spans (machine reset). *)

@@ -8,6 +8,7 @@ type t = {
   mutable segb1 : int; (* boundary register: address / 16 *)
   mutable segb2 : int;
   mutable sam : int; (* nibble per segment: RE/WE/XE/VS *)
+  mutable gen : int; (* configuration generation, bumped on any change *)
 }
 
 let ctl0_addr = 0x05A0
@@ -26,14 +27,17 @@ let default_sam =
   0x7777
 
 let create () =
-  { ctl0 = 0; ctl1 = 0; segb1 = 0; segb2 = 0; sam = default_sam }
+  { ctl0 = 0; ctl1 = 0; segb1 = 0; segb2 = 0; sam = default_sam; gen = 0 }
 
 let reset t =
   t.ctl0 <- 0;
   t.ctl1 <- 0;
   t.segb1 <- 0;
   t.segb2 <- 0;
-  t.sam <- default_sam
+  t.sam <- default_sam;
+  t.gen <- t.gen + 1
+
+let gen t = t.gen
 
 let handles addr =
   addr >= ctl0_addr && addr <= sam_addr && addr land 1 = 0
@@ -51,6 +55,7 @@ let mmio_write t addr v =
     else begin
       if addr = ctl0_addr then t.ctl0 <- v land 0xFF
       else t.ctl1 <- t.ctl1 land lnot (v land 0xFF);
+      t.gen <- t.gen + 1;
       Write_ok
     end
   else if locked t then Locked_ignored
@@ -58,6 +63,7 @@ let mmio_write t addr v =
     (if addr = segb2_addr then t.segb2 <- v land 0xFFF
      else if addr = segb1_addr then t.segb1 <- v land 0xFFF
      else if addr = sam_addr then t.sam <- v land 0xFFFF);
+    t.gen <- t.gen + 1;
     Write_ok
   end
 
@@ -134,19 +140,21 @@ let raw_get t = function
 (* Fault-injection backdoor: models a physical upset of the register
    cell itself, so it bypasses the password and the lock on purpose. *)
 let raw_set t reg v =
-  match reg with
+  (match reg with
   | Raw_ctl0 -> t.ctl0 <- v land 0xFF
   | Raw_ctl1 -> t.ctl1 <- v land 0xFF
   | Raw_segb1 -> t.segb1 <- v land 0xFFF
   | Raw_segb2 -> t.segb2 <- v land 0xFFF
-  | Raw_sam -> t.sam <- v land 0xFFFF
+  | Raw_sam -> t.sam <- v land 0xFFFF);
+  t.gen <- t.gen + 1
 
 let configure t ~b1 ~b2 ~sam ~enable =
   if not (locked t) then begin
     t.segb1 <- (b1 lsr 4) land 0xFFF;
     t.segb2 <- (b2 lsr 4) land 0xFFF;
     t.sam <- sam land 0xFFFF;
-    t.ctl0 <- (if enable then bit_ena else 0)
+    t.ctl0 <- (if enable then bit_ena else 0);
+    t.gen <- t.gen + 1
   end
 
 let sam_bits ~seg1 ~seg2 ~seg3 ?(info = "") () =

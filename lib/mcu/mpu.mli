@@ -75,6 +75,14 @@ val check : t -> access -> int -> check_result
 val violation_flags : t -> int
 (** Current MPUCTL1 interrupt-flag bits. *)
 
+val gen : t -> int
+(** Configuration generation: bumped by every accepted register write,
+    {!configure}, {!raw_set} and {!reset}.  {!check} verdicts are a
+    pure function of the configuration, so a cached "allowed" result
+    stays valid exactly as long as [gen] is unchanged — the machine's
+    predecoded-block cache uses this to skip per-word execute checks
+    on revisited blocks. *)
+
 (** Raw register cells, for the fault injector: a bit flip in the
     MPU's own configuration state models the paper's concern that a
     primitive MPU offers no protection for its own state.  [raw_set]

@@ -67,9 +67,21 @@ let accel_sample t ~time_ms =
     if dt < 200 then (noise t ~tag:1 ~time:time_ms ~amp:40, 0, 100)
     else (noise t ~tag:1 ~time:time_ms ~amp:300, 2600, 3200)
 
+(* Exact floor square root, capped at the 16-bit sensor range.  The
+   float seed is within one of the true root for any 62-bit input; the
+   two correction loops run at most once each. *)
 let isqrt n =
-  let rec go x = if x * x > n then go (x - 1) else x in
-  if n <= 0 then 0 else go (min n 32767)
+  if n <= 0 then 0
+  else begin
+    let x = ref (int_of_float (sqrt (float_of_int n))) in
+    while !x > 0 && !x * !x > n do
+      decr x
+    done;
+    while (!x + 1) * (!x + 1) <= n do
+      incr x
+    done;
+    min !x 32767
+  end
 
 let accel_magnitude t ~time_ms =
   let x, y, z = accel_sample t ~time_ms in

@@ -247,6 +247,149 @@ let mode_agreement =
          let reference = run_mode Iso.No_isolation src in
          List.for_all (fun mode -> run_mode mode src = reference) Iso.all))
 
+(* ------------------------------------------------------------------ *)
+(* Differential lockstep: the predecoded block engine against the
+   retained reference per-instruction stepper.
+
+   The same linked image is loaded into two machines.  The second
+   carries a no-op event watcher, which forces [Machine.run] onto the
+   reference slow path; the first stays hooks-off and dispatches from
+   the predecoded block cache.  Driving both with [run ~fuel:1] pins
+   the comparison to every instruction boundary: stop reason,
+   register file, cycle counter, retired-instruction count, access
+   statistics, console and all 64 KiB of memory must be identical
+   throughout. *)
+
+module Mem = Amulet_mcu.Memory
+module Regs = Amulet_mcu.Registers
+module Cpu = Amulet_mcu.Cpu
+module Trace = Amulet_mcu.Trace
+
+let lockstep_pair image =
+  let mk () =
+    let m = M.create () in
+    Amulet_link.Image.load image m;
+    M.reset m;
+    m
+  in
+  let fast = mk () in
+  let slow = mk () in
+  M.add_watch slow (fun _ -> ());
+  (fast, slow)
+
+let show_stop r = Format.asprintf "%a" M.pp_stop_reason r
+
+let compare_machines ~insn fast slow =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  for i = 0 to 15 do
+    let a = Regs.get (M.regs fast) i and b = Regs.get (M.regs slow) i in
+    if a <> b then fail "insn %d: r%d fast=%#06x slow=%#06x" insn i a b
+  done;
+  if M.cycles fast <> M.cycles slow then
+    fail "insn %d: cycles fast=%d slow=%d" insn (M.cycles fast)
+      (M.cycles slow);
+  if fast.M.cpu.Cpu.insns <> slow.M.cpu.Cpu.insns then
+    fail "insn %d: retired fast=%d slow=%d" insn fast.M.cpu.Cpu.insns
+      slow.M.cpu.Cpu.insns;
+  let sa = fast.M.stats and sb = slow.M.stats in
+  if sa.Trace.fetch_words <> sb.Trace.fetch_words then
+    fail "insn %d: fetch_words fast=%d slow=%d" insn sa.Trace.fetch_words
+      sb.Trace.fetch_words;
+  if sa.Trace.data_reads <> sb.Trace.data_reads then
+    fail "insn %d: data_reads fast=%d slow=%d" insn sa.Trace.data_reads
+      sb.Trace.data_reads;
+  if sa.Trace.data_writes <> sb.Trace.data_writes then
+    fail "insn %d: data_writes fast=%d slow=%d" insn sa.Trace.data_writes
+      sb.Trace.data_writes;
+  if M.console_contents fast <> M.console_contents slow then
+    fail "insn %d: console diverged" insn;
+  if not (Mem.equal fast.M.mem slow.M.mem) then
+    fail "insn %d: memory diverged" insn
+
+let lockstep_run ?(max_insns = 200_000) image =
+  let fast, slow = lockstep_pair image in
+  compare_machines ~insn:(-1) fast slow;
+  let rec go insn =
+    let ra = M.run ~fuel:1 fast in
+    let rb = M.run ~fuel:1 slow in
+    if ra <> rb then
+      Printf.ksprintf failwith "insn %d: stop fast=%s slow=%s" insn
+        (show_stop ra) (show_stop rb);
+    compare_machines ~insn fast slow;
+    match ra with
+    | M.Out_of_fuel ->
+      if insn >= max_insns then
+        failwith "lockstep: program did not terminate"
+      else go (insn + 1)
+    | M.Halted | M.Faulted _ | M.Sw_fault _ -> ra
+  in
+  go 0
+
+let lockstep_property mode =
+  QCheck2.Test.make ~count:40
+    ~name:("predecode lockstep (" ^ Iso.name mode ^ ")")
+    ~print:to_source gen_program
+    (reporting
+       ("predecode lockstep (" ^ Iso.name mode ^ ")")
+       (fun p ->
+         let _cu, image = H.build ~mode (to_source p) in
+         match lockstep_run image with
+         | M.Halted -> true
+         | r -> failwith ("lockstep stopped with " ^ show_stop r)))
+
+(* Attack-corpus lockstep: every corpus attack that builds, under
+   every isolation mode, dispatched on two kernels over the same
+   firmware — one hooks-off (predecoded engine), one with a no-op
+   watcher armed (reference stepper).  Virtual time, every dispatch
+   record (cycles, access counts, outcome — fault identity included),
+   console, register file and full memory must match after the run;
+   per-instruction equality inside each dispatch is what the QCheck
+   lockstep above establishes. *)
+
+module Attacks = Amulet_sec.Attacks
+module Kernel = Amulet_os.Kernel
+
+let corpus_lockstep_mode mode () =
+  List.iter
+    (fun attack ->
+      match Attacks.build_cell ~attack ~mode with
+      | Attacks.Rejected _ -> ()
+      | Attacks.Built { fw; _ } ->
+        let name = attack.Attacks.atk_name in
+        let fast = Kernel.create ~policy:Kernel.Disable fw in
+        let slow = Kernel.create ~policy:Kernel.Disable fw in
+        M.add_watch slow.Kernel.machine (fun _ -> ());
+        let ra = Kernel.run_for_ms fast 60 in
+        let rb = Kernel.run_for_ms slow 60 in
+        Alcotest.(check int)
+          (name ^ ": dispatch count")
+          (List.length rb) (List.length ra);
+        List.iter2
+          (fun (a : Kernel.dispatch_record) (b : Kernel.dispatch_record) ->
+            if a <> b then
+              Alcotest.failf "%s: dispatch record diverged (%d vs %d cycles)"
+                name a.Kernel.dr_cycles b.Kernel.dr_cycles)
+          ra rb;
+        Alcotest.(check int)
+          (name ^ ": cycles")
+          (M.cycles slow.Kernel.machine)
+          (M.cycles fast.Kernel.machine);
+        for i = 0 to 15 do
+          Alcotest.(check int)
+            (Printf.sprintf "%s: r%d" name i)
+            (Regs.get (M.regs slow.Kernel.machine) i)
+            (Regs.get (M.regs fast.Kernel.machine) i)
+        done;
+        Alcotest.(check string)
+          (name ^ ": console")
+          (M.console_contents slow.Kernel.machine)
+          (M.console_contents fast.Kernel.machine);
+        Alcotest.(check bool)
+          (name ^ ": memory")
+          true
+          (Mem.equal fast.Kernel.machine.M.mem slow.Kernel.machine.M.mem))
+    Attacks.corpus
+
 let () =
   let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(fresh_rand ()) t in
   Alcotest.run "diff"
@@ -266,4 +409,18 @@ let () =
             static_certification Iso.Mpu_assisted;
             static_certification Iso.Software_only;
           ] );
+      ( "lockstep",
+        List.map to_alcotest
+          [
+            lockstep_property Iso.No_isolation;
+            lockstep_property Iso.Mpu_assisted;
+            lockstep_property Iso.Software_only;
+            lockstep_property Iso.Feature_limited;
+          ]
+        @ List.map
+            (fun mode ->
+              Alcotest.test_case
+                ("attack corpus (" ^ Iso.name mode ^ ")")
+                `Quick (corpus_lockstep_mode mode))
+            Iso.all );
     ]

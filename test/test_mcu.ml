@@ -883,6 +883,97 @@ let test_mpu_raw_bypasses_password_and_lock () =
   Alcotest.(check bool) "halt traced" true (!io >= 1);
   Alcotest.(check bool) "raw set emitted no extra Io_write" true (!io = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Predecoded-block engine: byte-PUSH store width, self-modifying-code
+   invalidation, reset dropping the cache *)
+
+(* PUSH.B must store a byte, not a word: the high byte of the stack
+   slot keeps whatever was there before the push (regression for the
+   old [exec_fmt2] PUSH path, which duplicated [push_word] and issued
+   the store at word width regardless of the instruction's). *)
+let test_byte_push_preserves_slot_high_byte () =
+  let open Opcode in
+  let slot = Memory_map.sram_limit - 2 in
+  let m =
+    expect_halt
+      (run_prog
+         [
+           Fmt1 (MOV, Word.W16, S_immediate 0x5A7E, D_absolute slot);
+           Fmt1 (MOV, Word.W16, S_immediate 0x12AB, D_reg 5);
+           Fmt2 (PUSH, Word.W8, S_reg 5);
+           Fmt1 (MOV, Word.W16, S_absolute slot, D_reg 6);
+         ])
+  in
+  check_int "low byte is the pushed value, high byte survives" 0x5AAB
+    (reg m 6);
+  check_int "sp moved a full word" slot (reg m 1)
+
+(* A store into a later instruction of the block currently executing:
+   the block was predecoded in one piece, so without invalidation the
+   stale immediate would execute.  The write bumps the code
+   generation, the block exits at the next uop boundary, and the
+   patched bytes are re-decoded before they run. *)
+let test_smc_patch_within_running_block () =
+  let open Opcode in
+  let base = code_base in
+  let m =
+    expect_halt
+      (run_prog
+         [
+           (* base+0 *) Fmt1 (MOV, Word.W16, S_immediate 0x2222, D_reg 5);
+           (* base+4, patches the immediate at base+10 *)
+           Fmt1 (MOV, Word.W16, S_reg 5, D_absolute (base + 10));
+           (* base+8 *) Fmt1 (MOV, Word.W16, S_immediate 0x1111, D_reg 7);
+         ])
+  in
+  check_int "patched immediate executed, not the predecoded one" 0x2222
+    (reg m 7)
+
+(* A store into a block that already ran and is cached: the dirty span
+   must flush the cached block so the re-entry decodes fresh bytes. *)
+let test_smc_patch_cached_block_then_reenter () =
+  let open Opcode in
+  let base = code_base in
+  let m =
+    expect_halt
+      (run_prog
+         [
+           (* base+0, the patch target's ext word is base+2 *)
+           Fmt1 (MOV, Word.W16, S_immediate 0x1111, D_reg 7);
+           (* base+4 *) Fmt1 (ADD, Word.W16, S_immediate 1, D_reg 6);
+           (* base+6 *) Fmt1 (CMP, Word.W16, S_immediate 2, D_reg 6);
+           (* base+8, second pass -> halt at base+18 *) Jump (JEQ, 4);
+           (* base+10 *)
+           Fmt1 (MOV, Word.W16, S_immediate 0x2222, D_absolute (base + 2));
+           (* base+16, back to base+0 *) Jump (JMP, -9);
+           (* halt_insn lands at base+18 *)
+         ])
+  in
+  check_int "looped twice" 2 (reg m 6);
+  check_int "second pass decoded the patched immediate" 0x2222 (reg m 7)
+
+(* [Machine.reset] must drop the block cache outright.  After reset
+   the code-write watches are gone too, so a subsequent patch bumps no
+   generation counter: only the reset-time flush can make the second
+   boot see the new bytes. *)
+let test_reset_drops_code_cache () =
+  let open Opcode in
+  let base = code_base in
+  let m =
+    expect_halt
+      (run_prog [ Fmt1 (MOV, Word.W16, S_immediate 0x1111, D_reg 7) ])
+  in
+  Alcotest.(check bool) "blocks cached after a hooks-off run" true
+    (Hashtbl.length m.Machine.blocks > 0);
+  Machine.reset m;
+  check_int "reset empties the block cache" 0
+    (Hashtbl.length m.Machine.blocks);
+  Memory.write_word m.Machine.mem (base + 2) 0x2222;
+  (match Machine.run m with
+  | Machine.Halted -> ()
+  | o -> Alcotest.failf "expected halt, got %a" Machine.pp_stop_reason o);
+  check_int "second boot decodes the post-reset patch" 0x2222 (reg m 7)
+
 let () =
   Alcotest.run "mcu"
     [
@@ -968,5 +1059,16 @@ let () =
             test_reset_clears_state;
           Alcotest.test_case "bad password no io event" `Quick
             test_bad_password_write_emits_no_io_event;
+        ] );
+      ( "predecode",
+        [
+          Alcotest.test_case "byte push slot high byte" `Quick
+            test_byte_push_preserves_slot_high_byte;
+          Alcotest.test_case "smc within running block" `Quick
+            test_smc_patch_within_running_block;
+          Alcotest.test_case "smc cached block re-entry" `Quick
+            test_smc_patch_cached_block_then_reenter;
+          Alcotest.test_case "reset drops cache" `Quick
+            test_reset_drops_code_cache;
         ] );
     ]
