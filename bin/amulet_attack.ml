@@ -60,7 +60,9 @@ let jobs_arg =
   Arg.(
     value & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
-        ~doc:"Worker domains (0 = the runtime's recommendation).")
+        ~doc:
+          "Worker domains (0 = Fleet.Sched.default_jobs, the policy \
+           shared with amulet_fleet).")
 
 let out_arg =
   Arg.(

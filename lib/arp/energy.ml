@@ -40,6 +40,16 @@ let isolation_overhead_joules cats =
 
 let cycles_per_week = clock_hz *. 3600.0 *. 24.0 *. 7.0
 
+(* Extrapolate a finite run to a week of the same activity level —
+   the fleet service's per-mode battery projection. *)
+let battery_impact_of_run ~cycles ~duration_ms =
+  if duration_ms <= 0 then 0.0
+  else
+    let week_ms = 7.0 *. 24.0 *. 3600.0 *. 1000.0 in
+    battery_impact_percent
+      ~overhead_cycles_per_week:
+        (float_of_int cycles *. week_ms /. float_of_int duration_ms)
+
 let pp_joules ppf j =
   let a = Float.abs j in
   if a >= 1.0 then Format.fprintf ppf "%.3f J" j

@@ -49,5 +49,11 @@ val cycles_per_week : float
 (** Cycles executed in one week at {!clock_hz} — the extrapolation
     factor for battery-impact projections from finite traces. *)
 
+val battery_impact_of_run : cycles:int -> duration_ms:int -> float
+(** Share of the weekly energy budget a device would consume if it
+    kept executing [cycles] per [duration_ms] of virtual time all week
+    — the fleet service's per-mode battery projection.  0 when
+    [duration_ms <= 0]. *)
+
 val pp_joules : Format.formatter -> float -> unit
 (** Engineering notation: J / mJ / uJ / nJ / pJ. *)

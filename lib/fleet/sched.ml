@@ -1,0 +1,82 @@
+let default_jobs () = min 8 (Domain.recommended_domain_count ())
+
+type progress = done_:int -> total:int -> unit
+
+let resolve_jobs jobs n =
+  let j = if jobs > 0 then jobs else default_jobs () in
+  max 1 (min j n)
+
+(* Shared-cursor batch loop: [work lo hi] processes items [lo, hi).
+   The cursor hand-out is the only cross-domain communication; every
+   index is claimed by exactly one worker. *)
+let steal_loop ~n ~batch ~next ~tick work =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add next batch in
+    if lo < n then begin
+      let hi = min n (lo + batch) in
+      work lo hi;
+      tick (hi - lo);
+      loop ()
+    end
+  in
+  loop ()
+
+let make_tick ?progress ~total () =
+  match progress with
+  | None -> fun _ -> ()
+  | Some p ->
+    let finished = Atomic.make 0 in
+    let lock = Mutex.create () in
+    fun k ->
+      let done_ = Atomic.fetch_and_add finished k + k in
+      Mutex.lock lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock lock)
+        (fun () -> p ~done_ ~total)
+
+let map ?(jobs = 0) ?(batch = 1) ?progress f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let jobs = resolve_jobs jobs n in
+    let batch = max 1 batch in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let tick = make_tick ?progress ~total:n () in
+    let worker () =
+      steal_loop ~n ~batch ~next ~tick (fun lo hi ->
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f items.(i))
+          done)
+    in
+    if jobs = 1 then worker ()
+    else begin
+      let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join others
+    end;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let fold_shards ?(jobs = 0) ?(batch = 1) ?progress ~init ~fold items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let jobs = resolve_jobs jobs n in
+  let batch = max 1 batch in
+  let next = Atomic.make 0 in
+  let tick = make_tick ?progress ~total:n () in
+  let worker () =
+    let acc = ref (init ()) in
+    steal_loop ~n ~batch ~next ~tick (fun lo hi ->
+        for i = lo to hi - 1 do
+          acc := fold !acc items.(i)
+        done);
+    !acc
+  in
+  if jobs = 1 then [ worker () ]
+  else begin
+    let others = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    let mine = worker () in
+    mine :: List.map Domain.join others
+  end

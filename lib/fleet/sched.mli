@@ -1,0 +1,56 @@
+(** Work-stealing batch executor over OCaml domains.
+
+    The fleet service, the attack campaign and the bench ablations all
+    need the same thing: run thousands of independent jobs on a few
+    domains, with dynamic load balancing (cells and devices vary by an
+    order of magnitude in cost) and results that do not depend on how
+    the work was scheduled.  Items are handed out in fixed-size
+    batches from a shared atomic cursor — an idle worker steals the
+    next unclaimed batch, so a domain stuck on an expensive item never
+    leaves the others idle the way static round-robin partitioning
+    (the campaign's previous scheme) did.
+
+    Both entry points guarantee schedule-independence: {!map} writes
+    each result into its item's slot, and {!fold_shards} returns one
+    accumulator per worker for the caller to merge with an
+    order-independent operation. *)
+
+val default_jobs : unit -> int
+(** The single jobs policy for every parallel driver in the tree:
+    [min 8 (Domain.recommended_domain_count ())].  CLI [--jobs 0]
+    means this. *)
+
+type progress = done_:int -> total:int -> unit
+(** Called under an internal mutex after each finished batch, from
+    whichever worker finished it; [done_] counts completed items. *)
+
+val map :
+  ?jobs:int ->
+  ?batch:int ->
+  ?progress:progress ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** [map f items] applies [f] to every item on [jobs] domains
+    (including the calling one) and returns the results in item order
+    — equal to [List.map f items] whenever [f] is pure, whatever the
+    schedule.  [jobs <= 0] means {!default_jobs}, clamped to the item
+    count; [jobs = 1] runs inline without spawning.  [batch] (default
+    1) is the steal granularity.  An exception raised by [f] is
+    re-raised in the caller. *)
+
+val fold_shards :
+  ?jobs:int ->
+  ?batch:int ->
+  ?progress:progress ->
+  init:(unit -> 'acc) ->
+  fold:('acc -> 'a -> 'acc) ->
+  'a list ->
+  'acc list
+(** [fold_shards ~init ~fold items] gives each worker domain a fresh
+    accumulator from [init ()] and folds the batches it steals into
+    it; returns the per-worker shards (at least one, workers that
+    stole nothing return [init ()]).  Which items land in which shard
+    is schedule-dependent — the caller must combine shards with an
+    associative {e and} commutative merge for the result to be
+    deterministic ({!Amulet_obs.Hist.merge} is the model citizen). *)

@@ -15,6 +15,7 @@ type dispatch_record = {
   dr_app : int;
   dr_kind : Event.kind;
   dr_cycles : int;
+  dr_latency : int;
   dr_reads : int;
   dr_writes : int;
   dr_api_calls : int;
@@ -250,7 +251,8 @@ let dispatch_event t (e : Event.t) =
   let no_handler =
     {
       dr_app = e.Event.app; dr_kind = e.Event.kind; dr_cycles = 0;
-      dr_reads = 0; dr_writes = 0; dr_api_calls = 0; dr_outcome = No_handler;
+      dr_latency = 0; dr_reads = 0; dr_writes = 0; dr_api_calls = 0;
+      dr_outcome = No_handler;
     }
   in
   if not app.enabled then no_handler
@@ -310,6 +312,7 @@ let dispatch_event t (e : Event.t) =
           dr_app = e.Event.app;
           dr_kind = e.Event.kind;
           dr_cycles = M.cycles m - cycles0;
+          dr_latency = 0;  (* queue wait is known at the pop site only *)
           dr_reads = m.M.stats.Amulet_mcu.Trace.data_reads - reads0;
           dr_writes = m.M.stats.Amulet_mcu.Trace.data_writes - writes0;
           dr_api_calls = t.api.Api.calls - api0;
@@ -378,10 +381,10 @@ let dispatch_next t =
   | None -> None
   | Some e ->
     (* how late the event runs relative to its scheduled time *)
+    let latency = max 0 (t.now - e.Event.at) in
     (match t.obs with
     | Some obs ->
-      Obs.counter obs ~name:"dispatch_latency_cycles" ~ts:t.now
-        (max 0 (t.now - e.Event.at))
+      Obs.counter obs ~name:"dispatch_latency_cycles" ~ts:t.now latency
     | None -> ());
     queue_gauge t;
     t.now <- max t.now e.Event.at;
@@ -397,7 +400,7 @@ let dispatch_next t =
     (match t.obs with
     | Some obs -> Obs.emit_profile_counters obs ~ts:t.now
     | None -> ());
-    Some record
+    Some { record with dr_latency = latency }
 
 let run_for_ms t ms =
   let deadline = t.now + Event.ms_to_cycles ms in

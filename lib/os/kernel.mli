@@ -26,6 +26,12 @@ type dispatch_record = {
   dr_app : int;
   dr_kind : Event.kind;
   dr_cycles : int;  (** trampoline + handler + gates + services *)
+  dr_latency : int;
+      (** queue latency: virtual cycles the event waited past its
+          scheduled delivery time before this dispatch started (the
+          same value the [dispatch_latency_cycles] Obs counter
+          records, but available hooks-off — the fleet service's
+          per-mode latency histograms are built from it) *)
   dr_reads : int;
   dr_writes : int;
   dr_api_calls : int;

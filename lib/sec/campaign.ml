@@ -14,6 +14,7 @@ module Lint = Amulet_analysis.Lint
 module Verifier = Amulet_analysis.Verifier
 module Obs = Amulet_obs.Obs
 module Hist = Amulet_obs.Hist
+module Sched = Amulet_fleet_core.Sched
 
 type observed =
   | O_build_rejected
@@ -422,37 +423,8 @@ let quick_names =
     "bin_jump_victim_code";
   ]
 
-(* Round-robin the work items over [jobs] domains; cells are
-   independent (each builds its own firmware and machine), and none of
-   the toolchain libraries keeps module-level mutable state. *)
-let parallel_map ~jobs f items =
-  let items = Array.of_list items in
-  let n = Array.length items in
-  let jobs = max 1 (min jobs n) in
-  if jobs = 1 then Array.to_list (Array.map f items)
-  else begin
-    let results = Array.make n None in
-    let workers =
-      List.init jobs (fun w ->
-          Domain.spawn (fun () ->
-              let acc = ref [] in
-              let i = ref w in
-              while !i < n do
-                acc := (!i, f items.(!i)) :: !acc;
-                i := !i + jobs
-              done;
-              !acc))
-    in
-    List.iter
-      (fun d ->
-        List.iter (fun (i, r) -> results.(i) <- Some r) (Domain.join d))
-      workers;
-    Array.to_list (Array.map Option.get results)
-  end
-
 let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
     =
-  let jobs = if jobs > 0 then jobs else min 8 (Domain.recommended_domain_count ()) in
   let attacks =
     Attacks.corpus
     |> List.filter (fun (a : Attacks.t) ->
@@ -465,15 +437,20 @@ let run ?(quick = false) ?(jobs = 0) ?(only = []) ?(modes = Iso.all) ~seed ()
       (fun a -> List.map (fun m -> (a, m)) modes)
       attacks
   in
+  (* cells are independent (each builds its own firmware and machine)
+     and none of the toolchain libraries keeps module-level mutable
+     state, so the fleet scheduler can hand them to any domain;
+     Sched.map returns results in item order, so the summary is
+     byte-identical whatever [jobs] was *)
   let s_cells =
-    parallel_map ~jobs
+    Sched.map ~jobs
       (fun (attack, mode) -> run_cell ~attack ~mode ~seed)
       cells
   in
   let s_injections =
     if quick then []
     else
-      parallel_map ~jobs
+      Sched.map ~jobs
         (fun (mode, target) -> run_injection ~mode ~target ~seed)
         (List.concat_map
            (fun m -> [ (m, `Regs); (m, `Fram); (m, `Mpu) ])

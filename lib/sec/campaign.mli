@@ -119,10 +119,12 @@ val run :
   seed:int ->
   unit ->
   summary
-(** Run the (filtered) matrix in parallel domains.  [jobs] defaults to
-    the domain count the runtime recommends; [only] filters attacks by
-    name; [quick] restricts to {!quick_names} and skips the injection
-    rows. *)
+(** Run the (filtered) matrix on the fleet scheduler's worker domains
+    ({!Amulet_fleet_core.Sched.map} — results in item order, so the summary
+    is byte-identical whatever the job count).  [jobs <= 0] means
+    {!Amulet_fleet_core.Sched.default_jobs}, the one jobs policy shared by
+    every parallel driver; [only] filters attacks by name; [quick]
+    restricts to {!quick_names} and skips the injection rows. *)
 
 val ok : summary -> bool
 
